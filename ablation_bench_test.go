@@ -1,0 +1,233 @@
+package nvmcache_test
+
+// Ablation benchmarks for the design choices the paper argues for:
+// clflush vs clwb (Section II-A), full associativity vs Atlas's direct
+// mapping at equal capacity (Section II-B), the 50-line capacity bound
+// (Section III-C), the burst length, per-thread vs grouped MRC analysis
+// (Section III-C's future-work extension), infinite vs periodic
+// hibernation, and the asymptotic cost of timescale reuse vs exact reuse
+// distance (Section III-A). Each reports its finding as a custom metric.
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/harness"
+	"nvmcache/internal/locality"
+	"nvmcache/internal/trace"
+)
+
+// BenchmarkAblationClflushVsClwb quantifies the indirect cost of flushing
+// with invalidation: Atlas on water-spatial pays a re-miss on every line
+// it conflicts out; clwb would not. The paper keeps clflush for
+// correctness ("clwb may cause other threads to access a stale value").
+func BenchmarkAblationClflushVsClwb(b *testing.B) {
+	w, err := harness.WorkloadByName(harness.Workloads(), "water-spatial")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		clflush, err := harness.Run(w, core.AtlasTable, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt.UseCLWB = true
+		clwb, err := harness.Run(w, core.AtlasTable, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = clflush.Cycles / clwb.Cycles
+	}
+	b.ReportMetric(ratio, "clflush/clwb-x")
+}
+
+// BenchmarkAblationAssociativity holds capacity fixed at the selected size
+// and varies only the organization: Atlas's direct-mapped table vs the
+// paper's fully associative LRU cache. The gap is the part of SC's win
+// that capacity alone cannot explain. MDB is the right subject: its COW
+// page addresses are scattered, so lines collide in a direct-mapped table
+// even when it is as large as the LRU cache (the SPLASH2 generators use
+// contiguous phase lines, which never collide at equal capacity).
+func BenchmarkAblationAssociativity(b *testing.B) {
+	w, err := harness.WorkloadByName(harness.Workloads(), "mdb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := w.Trace(1.0/2048, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size, err := harness.OfflineSize(w, benchOpt())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var directRatio, lruRatio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.AtlasTableSize = size // direct-mapped at SC's capacity
+		directRatio = core.FlushRatio(core.AtlasTable, cfg, tr)
+		cfg.PresetSize = size
+		lruRatio = core.FlushRatio(core.SoftCacheOffline, cfg, tr)
+	}
+	b.ReportMetric(directRatio/lruRatio, "direct/lru-flush-x")
+}
+
+// BenchmarkAblationCapacityBound compares the paper's 50-line maximum with
+// an effectively unbounded cache: the unbounded cache flushes less but
+// pays the FASE-end drain stall the bound exists to limit.
+func BenchmarkAblationCapacityBound(b *testing.B) {
+	w, err := harness.WorkloadByName(harness.Workloads(), "mdb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stallRatio float64
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		bounded, err := harness.Run(w, core.SoftCacheOffline, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt.PresetSize = 4096 // no practical bound
+		unbounded, err := harness.Run(w, core.SoftCacheOffline, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stallRatio = unbounded.Stats.DrainStall / (bounded.Stats.DrainStall + 1)
+	}
+	b.ReportMetric(stallRatio, "unbounded/bounded-drain-stall-x")
+}
+
+// BenchmarkAblationBurstLength sweeps the sampling burst: too short misses
+// the widest working set's cross-pass reuse (selecting a useless size),
+// long enough finds the knee, longer only adds analysis cost.
+func BenchmarkAblationBurstLength(b *testing.B) {
+	w, err := harness.WorkloadByName(harness.Workloads(), "water-nsquared")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := w.Trace(1.0/2048, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chosen := map[int]int{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, burst := range []int{128, 1024, 8192} {
+			cfg := core.DefaultConfig()
+			cfg.BurstLength = burst
+			p := core.NewPolicy(core.SoftCacheOnline, cfg, core.NewCountingFlusher(nil))
+			core.RunSeq(p, tr.Threads[0])
+			chosen[burst] = p.(core.SizeReporter).AdaptReport().ChosenSize
+		}
+	}
+	b.ReportMetric(float64(chosen[128]), "chosen@128")
+	b.ReportMetric(float64(chosen[1024]), "chosen@1024")
+	b.ReportMetric(float64(chosen[8192]), "chosen@8192")
+}
+
+// BenchmarkAblationGroupedMRC compares per-thread MRC analysis with the
+// paper's future-work thread grouping: one leader analyzes, the group
+// adopts, and the total sampled volume drops by the thread count while
+// the flush ratios stay equivalent for locality-homogeneous threads.
+func BenchmarkAblationGroupedMRC(b *testing.B) {
+	const threads = 8
+	seqs := make([]*trace.ThreadSeq, threads)
+	for i := range seqs {
+		bt := trace.NewBuilder(int32(i))
+		for f := 0; f < 30; f++ {
+			bt.Begin()
+			for pass := 0; pass < 20; pass++ {
+				for l := 0; l < 20; l++ {
+					bt.Store(trace.LineAddr(l))
+				}
+			}
+			bt.End()
+		}
+		seqs[i] = bt.Finish()
+	}
+	var perThread, grouped int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.BurstLength = 600
+		perThread, grouped = 0, 0
+		for t := 0; t < threads; t++ {
+			p := core.NewPolicy(core.SoftCacheOnline, cfg, core.NewCountingFlusher(nil))
+			core.RunSeq(p, seqs[t])
+			perThread += p.(core.SizeReporter).AdaptReport().AnalyzedWrites
+		}
+		flushers := make([]core.Flusher, threads)
+		for t := range flushers {
+			flushers[t] = core.NewCountingFlusher(nil)
+		}
+		policies := core.NewGroupedPolicies(cfg, flushers)
+		for t, p := range policies {
+			core.RunSeq(p, seqs[t])
+			grouped += p.(core.SizeReporter).AdaptReport().AnalyzedWrites
+		}
+	}
+	b.ReportMetric(float64(perThread)/float64(grouped), "analysis-saved-x")
+}
+
+// BenchmarkAblationHibernation runs a workload whose working set grows
+// mid-run: the paper's infinite hibernation keeps the first burst's
+// choice; periodic re-sampling re-adapts and recovers the combining.
+func BenchmarkAblationHibernation(b *testing.B) {
+	bt := trace.NewBuilder(0)
+	for f := 0; f < 40; f++ {
+		ws := 6
+		if f >= 20 {
+			ws = 30 // the program's locality shifts
+		}
+		bt.Begin()
+		for pass := 0; pass < 40; pass++ {
+			for l := 0; l < ws; l++ {
+				bt.Store(trace.LineAddr(1000*uint64(f%2) + uint64(l)))
+			}
+		}
+		bt.End()
+	}
+	seq := bt.Finish()
+	var once, periodic float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.BurstLength = 480
+		cf := core.NewCountingFlusher(nil)
+		core.RunSeq(core.NewPolicy(core.SoftCacheOnline, cfg, cf), seq)
+		once = float64(cf.Stats().Total()) / float64(seq.NumWrites())
+
+		cfg.Hibernation = 4000 // re-sample periodically
+		cf2 := core.NewCountingFlusher(nil)
+		core.RunSeq(core.NewPolicy(core.SoftCacheOnline, cfg, cf2), seq)
+		periodic = float64(cf2.Stats().Total()) / float64(seq.NumWrites())
+	}
+	b.ReportMetric(once/periodic, "once/periodic-flush-x")
+}
+
+// BenchmarkAblationTimescaleVsReuseDistance measures the cost gap the
+// paper's Section III-A argues from: the linear-time timescale analysis
+// vs the O(n log n) exact reuse-distance measurement, on the same trace.
+func BenchmarkAblationTimescaleVsReuseDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	seq := make([]uint64, 1<<19)
+	for i := range seq {
+		seq[i] = uint64(rng.Intn(1 << 14))
+	}
+	b.Run("timescale-linear", func(b *testing.B) {
+		b.SetBytes(int64(8 * len(seq)))
+		for i := 0; i < b.N; i++ {
+			locality.MRCFromReuse(locality.ReuseAll(seq), 50)
+		}
+	})
+	b.Run("reuse-distance-nlogn", func(b *testing.B) {
+		b.SetBytes(int64(8 * len(seq)))
+		for i := 0; i < b.N; i++ {
+			locality.ReuseDistance(seq).MRC(50)
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package nvmcache_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the experiment at a reduced scale (1/2048 of the
+// paper's problem sizes — the flush ratios and speedup shapes are scale
+// invariant; see internal/splash's calibration tests) and reports the
+// experiment's headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full pipeline and prints the reproduced results.
+// cmd/nvbench runs the same experiments at the default (larger) scale.
+
+import (
+	"testing"
+
+	"nvmcache/internal/harness"
+	"nvmcache/internal/locality"
+	"nvmcache/internal/trace"
+)
+
+func benchOpt() harness.RunOptions {
+	opt := harness.DefaultRunOptions()
+	opt.Scale = 1.0 / 2048
+	return opt
+}
+
+// BenchmarkTable1EagerSlowdown regenerates Table I: the slowdown of eager
+// persistence on the SPLASH2 programs (paper average 22x).
+func BenchmarkTable1EagerSlowdown(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.EagerSlowdown(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = r.Average
+	}
+	b.ReportMetric(avg, "avg-slowdown-x")
+}
+
+// BenchmarkFigure2MRC regenerates Figure 2: water-spatial's miss ratio
+// curve and the knee-based size selection (paper selects 23).
+func BenchmarkFigure2MRC(b *testing.B) {
+	var chosen float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.MRCOf("water-spatial", benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		chosen = float64(r.Chosen)
+	}
+	b.ReportMetric(chosen, "chosen-size")
+}
+
+// BenchmarkTable2MDB regenerates Table II: Mtest on MDB under the five
+// techniques (paper: SC 5.07x over ER, BEST 6.94x).
+func BenchmarkTable2MDB(b *testing.B) {
+	var sc, best float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.MDBTable2(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, best = r.Speedup[2], r.Speedup[4]
+	}
+	b.ReportMetric(sc, "sc-speedup-x")
+	b.ReportMetric(best, "best-speedup-x")
+}
+
+// BenchmarkTable3FlushRatios regenerates Table III over all twelve
+// workloads (paper headline: SC reduces write-backs 11.88x vs AT).
+func BenchmarkTable3FlushRatios(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.FlushRatiosTable3(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = r.AvgATOverSC
+	}
+	b.ReportMetric(avg, "avg-AT/SC-x")
+}
+
+// BenchmarkFigure4Speedups regenerates Figure 4: speedups over eager
+// persistence (paper averages: AT 4.5x, SC 9.6x, BEST 16.1x).
+func BenchmarkFigure4Speedups(b *testing.B) {
+	var sc, best float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.SpeedupsFigure4(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, best = r.AvgSC, r.AvgBest
+	}
+	b.ReportMetric(sc, "avg-sc-x")
+	b.ReportMetric(best, "avg-best-x")
+}
+
+// BenchmarkFigure5Parallel regenerates Figure 5: SC vs AT across thread
+// counts (paper: SC wins 85% of cells).
+func BenchmarkFigure5Parallel(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.ParallelFigures56(benchOpt(), []int{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = r.FracSCBeatsAT
+	}
+	b.ReportMetric(100*frac, "sc-beats-at-%")
+}
+
+// BenchmarkFigure6Overhead regenerates Figure 6: the slowdown of SC over
+// the no-flush upper bound (paper: 1-2x for most programs).
+func BenchmarkFigure6Overhead(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.ParallelFigures56(benchOpt(), []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range r.Rows {
+			if row.SCSlowdownVsBest > worst {
+				worst = row.SCSlowdownVsBest
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-sc/best-x")
+}
+
+// BenchmarkTable4WaterSpatial regenerates Table IV: water-spatial's
+// instructions, flush ratios and L1 miss ratios across thread counts.
+func BenchmarkTable4WaterSpatial(b *testing.B) {
+	var atFlush, scFlush float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.WaterSpatialTable4(benchOpt(), []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range r.Cells {
+			if c.Threads != 1 {
+				continue
+			}
+			switch c.Policy.String() {
+			case "AT":
+				atFlush = 100 * c.FlushRatio
+			case "SC":
+				scFlush = 100 * c.FlushRatio
+			}
+		}
+	}
+	b.ReportMetric(atFlush, "at-flush-%")
+	b.ReportMetric(scFlush, "sc-flush-%")
+}
+
+// BenchmarkFigure7MRCAccuracy regenerates Figure 7: actual vs full-trace
+// vs sampled MRC (the paper's point: all three select the same size).
+func BenchmarkFigure7MRCAccuracy(b *testing.B) {
+	agree := 0.0
+	for i := 0; i < b.N; i++ {
+		agree = 0
+		for _, name := range harness.Figure7Programs {
+			r, err := harness.MRCAccuracyFigure7(name, benchOpt())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d := r.ChosenSampled - r.ChosenActual; d >= -3 && d <= 3 {
+				agree++
+			}
+		}
+	}
+	b.ReportMetric(agree, "agreeing-programs")
+}
+
+// BenchmarkFigure8OnlineOverhead regenerates Figure 8: the cost of online
+// cache-size selection (paper average 6.78%).
+func BenchmarkFigure8OnlineOverhead(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.OnlineOverheadFigure8(benchOpt(), []int{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 100 * r.Average
+	}
+	b.ReportMetric(avg, "avg-overhead-%")
+}
+
+// BenchmarkSectionIVGSizes regenerates the Section IV-G selected cache
+// sizes (paper: 15, 10, 2, 8, 3, 28, 23, 20).
+func BenchmarkSectionIVGSizes(b *testing.B) {
+	var exact float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.SelectedSizes(harness.DefaultRunOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact = 0
+		for i := range r.Names {
+			if r.Chosen[i] == r.Paper[i] {
+				exact++
+			}
+		}
+	}
+	b.ReportMetric(exact, "exact-matches")
+}
+
+// BenchmarkReuseAnalysisThroughput measures the core linear-time
+// algorithm's throughput on a paper-scale burst (64M-write bursts at full
+// scale make this the component whose complexity the paper emphasizes).
+func BenchmarkReuseAnalysisThroughput(b *testing.B) {
+	w, err := harness.WorkloadByName(harness.Workloads(), "water-spatial")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := w.Trace(1.0/256, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	renamed := trace.RenameFASEs(tr.Threads[0])
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		locality.MRCFromReuse(locality.ReuseAll(renamed), 50)
+	}
+	b.SetBytes(int64(8 * len(renamed)))
+}

@@ -1,0 +1,108 @@
+// Command mrc computes miss ratio curves for persistent-write traces: the
+// standalone face of the paper's Section III analysis.
+//
+// Usage:
+//
+//	mrc -workload water-spatial [-scale 0.00390625] [-max 50] [-compare]
+//	mrc -trace file.nvmt [-thread 0]
+//
+// With -compare it prints the exact (LRU-simulated), full-trace converted
+// and burst-sampled curves side by side (the paper's Figure 7 view);
+// otherwise it prints the converted curve with knees and the selected
+// capacity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmcache/internal/harness"
+	"nvmcache/internal/locality"
+	"nvmcache/internal/sampling"
+	"nvmcache/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "", "built-in workload name (see nvbench)")
+	traceFile := flag.String("trace", "", "binary trace file (see trace.Encode)")
+	threadIdx := flag.Int("thread", 0, "thread to analyze")
+	scale := flag.Float64("scale", 1.0/256, "workload scale")
+	maxSize := flag.Int("max", 50, "maximum cache capacity")
+	burst := flag.Int("burst", 0, "sampled burst length (0 = auto)")
+	compare := flag.Bool("compare", false, "print actual vs full-trace vs sampled curves")
+	flag.Parse()
+
+	if err := run(*workload, *traceFile, *threadIdx, *scale, *maxSize, *burst, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "mrc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, traceFile string, threadIdx int, scale float64, maxSize, burst int, compare bool) error {
+	var tr *trace.Trace
+	switch {
+	case workload != "" && traceFile != "":
+		return fmt.Errorf("pass -workload or -trace, not both")
+	case workload != "":
+		w, err := harness.WorkloadByName(harness.Workloads(), workload)
+		if err != nil {
+			return err
+		}
+		tr, err = w.Trace(scale, 1, 42)
+		if err != nil {
+			return err
+		}
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.Decode(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pass -workload <name> or -trace <file>")
+	}
+	if threadIdx < 0 || threadIdx >= len(tr.Threads) {
+		return fmt.Errorf("thread %d out of range (trace has %d)", threadIdx, len(tr.Threads))
+	}
+	seq := tr.Threads[threadIdx]
+	renamed := trace.RenameFASEs(seq)
+
+	cfg := locality.DefaultKneeConfig()
+	cfg.MaxSize = maxSize
+	full := locality.MRCFromReuse(locality.ReuseAll(renamed), maxSize)
+
+	if !compare {
+		fmt.Printf("# %d writes, %d FASEs; knees %v; selected size %d\n",
+			seq.NumWrites(), seq.NumFASEs(), locality.Knees(full, cfg), locality.SelectSize(full, cfg))
+		fmt.Print(full.String())
+		return nil
+	}
+
+	actual := locality.StackDistanceMRC(renamed, maxSize)
+	if burst <= 0 {
+		burst = harness.BurstFor(int64(seq.NumWrites()))
+	}
+	smp := sampling.New(sampling.DefaultConfig(burst))
+	for i := 0; i < seq.NumFASEs() && smp.Collecting(); i++ {
+		for _, line := range seq.FASE(i) {
+			if smp.RecordStore(line) {
+				break
+			}
+		}
+		smp.FASEEnd()
+	}
+	sampled := locality.MRCFromReuse(locality.ReuseAll(smp.Burst()), maxSize)
+
+	fmt.Printf("# capacity actual full sampled (burst %d writes)\n", len(smp.Burst()))
+	for c := 0; c <= maxSize; c++ {
+		fmt.Printf("%d\t%.6f\t%.6f\t%.6f\n", c, actual.At(c), full.At(c), sampled.At(c))
+	}
+	fmt.Printf("# selected: actual %d, full %d, sampled %d\n",
+		locality.SelectSize(actual, cfg), locality.SelectSize(full, cfg), locality.SelectSize(sampled, cfg))
+	return nil
+}

@@ -1,0 +1,164 @@
+// Command nvbench reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	nvbench -exp table1|figure2|table2|table3|figure4|figure5|figure6|table4|figure7|figure8|sizes|all
+//	        [-scale 0.00390625] [-threads N] [-seed 42]
+//
+// -scale 1 regenerates paper-size traces (hundreds of millions of stores;
+// slow); the default 1/256 preserves every flush ratio and speedup shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmcache/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, figure2, table2, table3, figure4, figure5, figure6, table4, figure7, figure8, sizes, all)")
+	scale := flag.Float64("scale", 1.0/256, "workload scale relative to the paper's problem sizes")
+	threads := flag.Int("threads", 1, "thread count for single-run experiments")
+	seed := flag.Int64("seed", 42, "workload generation seed")
+	format := flag.String("format", "table", "output format: table or csv")
+	plot := flag.Bool("plot", false, "also render figures as ASCII charts")
+	flag.Parse()
+
+	opt := harness.DefaultRunOptions()
+	opt.Scale = *scale
+	opt.Threads = *threads
+	opt.Seed = *seed
+
+	if err := run(*exp, opt, *format, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "nvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opt harness.RunOptions, format string, plot bool) error {
+	show := func(t *harness.Table) {
+		if format == "csv" {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Println(t.String())
+	}
+	all := exp == "all"
+	ran := false
+
+	if all || exp == "table1" {
+		r, err := harness.EagerSlowdown(opt)
+		if err != nil {
+			return err
+		}
+		show(r.Table())
+		ran = true
+	}
+	if all || exp == "figure2" {
+		r, err := harness.MRCOf("water-spatial", opt)
+		if err != nil {
+			return err
+		}
+		if plot {
+			fmt.Println(harness.PlotCurve(
+				fmt.Sprintf("Figure 2: MRC of %s (chosen %d)", r.Program, r.Chosen),
+				[]string{"miss ratio"}, [][]float64{r.Miss}, 12))
+		} else {
+			show(r.Table())
+		}
+		ran = true
+	}
+	if all || exp == "table2" {
+		r, err := harness.MDBTable2(opt)
+		if err != nil {
+			return err
+		}
+		show(r.Table())
+		ran = true
+	}
+	if all || exp == "table3" {
+		r, err := harness.FlushRatiosTable3(opt)
+		if err != nil {
+			return err
+		}
+		show(r.Table())
+		ran = true
+	}
+	if all || exp == "figure4" {
+		r, err := harness.SpeedupsFigure4(opt)
+		if err != nil {
+			return err
+		}
+		show(r.Table())
+		if plot {
+			labels := make([]string, len(r.Rows))
+			vals := make([]float64, len(r.Rows))
+			for i, row := range r.Rows {
+				labels[i], vals[i] = row.Name, row.SC
+			}
+			fmt.Println(harness.PlotBars("Figure 4: SC speedup over ER", labels, vals, "x"))
+		}
+		ran = true
+	}
+	if all || exp == "figure5" || exp == "figure6" {
+		r, err := harness.ParallelFigures56(opt, nil)
+		if err != nil {
+			return err
+		}
+		if all || exp == "figure5" {
+			show(r.Figure5Table())
+		}
+		if all || exp == "figure6" {
+			show(r.Figure6Table())
+		}
+		ran = true
+	}
+	if all || exp == "table4" {
+		r, err := harness.WaterSpatialTable4(opt, nil)
+		if err != nil {
+			return err
+		}
+		show(r.Table())
+		ran = true
+	}
+	if all || exp == "figure7" {
+		for _, name := range harness.Figure7Programs {
+			r, err := harness.MRCAccuracyFigure7(name, opt)
+			if err != nil {
+				return err
+			}
+			if plot {
+				fmt.Println(harness.PlotCurve(
+					fmt.Sprintf("Figure 7: %s (actual/full/sampled select %d/%d/%d)",
+						r.Program, r.ChosenActual, r.ChosenFull, r.ChosenSampled),
+					[]string{"actual", "full-trace", "sampled"},
+					[][]float64{r.Actual, r.Full, r.Sampled}, 12))
+			} else {
+				show(r.Table())
+			}
+		}
+		ran = true
+	}
+	if all || exp == "figure8" {
+		r, err := harness.OnlineOverheadFigure8(opt, nil)
+		if err != nil {
+			return err
+		}
+		show(r.Table())
+		ran = true
+	}
+	if all || exp == "sizes" {
+		r, err := harness.SelectedSizes(opt)
+		if err != nil {
+			return err
+		}
+		show(r.Table())
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command tracegen records a workload's persistent-write trace to a file
+// in the repository's binary trace format, for offline analysis with
+// cmd/mrc or replay in custom tools.
+//
+// Usage:
+//
+//	tracegen -workload barnes -o barnes.nvmt [-scale 0.00390625] [-threads 4] [-seed 42]
+//	tracegen -info trace.nvmt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmcache/internal/harness"
+	"nvmcache/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload to record (see nvbench)")
+	out := flag.String("o", "", "output file")
+	scale := flag.Float64("scale", 1.0/256, "workload scale")
+	threads := flag.Int("threads", 1, "thread count")
+	seed := flag.Int64("seed", 42, "generation seed")
+	info := flag.String("info", "", "print statistics of an existing trace file")
+	flag.Parse()
+
+	if err := run(*workload, *out, *scale, *threads, *seed, *info); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, out string, scale float64, threads int, seed int64, info string) error {
+	if info != "" {
+		f, err := os.Open(info)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Decode(f)
+		if err != nil {
+			return err
+		}
+		st := trace.ComputeStats(tr)
+		fmt.Printf("threads:        %d\n", st.Threads)
+		fmt.Printf("stores:         %d\n", st.TotalWrites)
+		fmt.Printf("FASEs:          %d\n", st.TotalFASEs)
+		fmt.Printf("distinct lines: %d\n", st.DistinctLine)
+		fmt.Printf("LA lower bound: %d flushes (ratio %.5f)\n",
+			st.LAFlushes, float64(st.LAFlushes)/float64(st.TotalWrites))
+		return nil
+	}
+	if workload == "" || out == "" {
+		return fmt.Errorf("pass -workload and -o (or -info <file>)")
+	}
+	w, err := harness.WorkloadByName(harness.Workloads(), workload)
+	if err != nil {
+		return err
+	}
+	tr, err := w.Trace(scale, threads, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Encode(f, tr); err != nil {
+		return err
+	}
+	st := trace.ComputeStats(tr)
+	fmt.Printf("wrote %s: %d threads, %d stores, %d FASEs\n", out, st.Threads, st.TotalWrites, st.TotalFASEs)
+	return nil
+}

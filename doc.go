@@ -1,0 +1,15 @@
+// Package nvmcache reproduces "Adaptive Software Caching for Efficient
+// NVRAM Data Persistence" (Li, Chakrabarti, Ding, Yuan — IPDPS 2017) as a
+// Go library: a per-thread, adaptive, write-combining software cache that
+// minimizes the cache-line flushes required to keep failure-atomic program
+// state in persistent memory, together with the reuse-based locality
+// theory that sizes it and the full evaluation harness that regenerates
+// the paper's tables and figures.
+//
+// The implementation lives in internal/ packages (see DESIGN.md for the
+// map); cmd/nvbench, cmd/mrc and cmd/mdbtest are the executables, and
+// examples/ shows the public API in use. The benchmarks in this directory
+// regenerate each table and figure: run
+//
+//	go test -bench=. -benchmem
+package nvmcache

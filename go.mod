@@ -1,0 +1,3 @@
+module nvmcache
+
+go 1.22

@@ -1,0 +1,202 @@
+package atlas
+
+import (
+	"strings"
+	"testing"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/pmem"
+)
+
+// Failure-injection tests: exhaust the undo log, the registry and the
+// heap, and check the runtime degrades the way its documentation promises.
+
+func TestUndoLogOverflowDropsButKeepsRunning(t *testing.T) {
+	h := pmem.New(1 << 20)
+	opts := DefaultOptions()
+	opts.Policy = core.Lazy
+	opts.LogEntries = 8 // tiny log: overflow quickly
+	rt := NewRuntime(h, opts)
+	th, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := h.AllocLines(64 * 64)
+	th.FASEBegin()
+	for i := uint64(0); i < 64; i++ { // 64 distinct words > 8 entries
+		th.Store64(base+i*8, i)
+	}
+	th.FASEEnd()
+	// Data still written and durable despite the truncated log.
+	for i := uint64(0); i < 64; i++ {
+		if th.Load64(base+i*8) != i {
+			t.Fatalf("word %d lost", i)
+		}
+	}
+	if th.log.dropped != 64-8 {
+		t.Fatalf("dropped = %d, want %d", th.log.dropped, 64-8)
+	}
+	// Within-capacity rollback still works on the next FASE.
+	th.FASEBegin()
+	th.Store64(base, 999)
+	h.Crash()
+	if _, err := Recover(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.ReadUint64(base); got != 0 {
+		t.Fatalf("rollback after overflow FASE: %d", got)
+	}
+}
+
+func TestUndoLogCapacityBoundary(t *testing.T) {
+	h := pmem.New(1 << 20)
+	opts := DefaultOptions()
+	opts.LogEntries = 4
+	rt := NewRuntime(h, opts)
+	th, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := h.AllocLines(64 * 8)
+	th.FASEBegin()
+	for i := uint64(0); i < 4; i++ { // exactly at capacity
+		th.Store64(base+i*8, i+1)
+	}
+	h.Crash()
+	if _, err := Recover(h); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if got := h.ReadUint64(base + i*8); got != 0 {
+			t.Fatalf("word %d not rolled back: %d", i, got)
+		}
+	}
+}
+
+func TestHeapExhaustionSurfacesError(t *testing.T) {
+	h := pmem.New(1 << 16) // tiny heap
+	rt := NewRuntime(h, DefaultOptions())
+	if _, err := rt.NewThread(); err == nil {
+		// The 4096-entry default log does not fit a 64 KiB heap.
+		t.Fatal("NewThread succeeded on an exhausted heap")
+	} else if !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestManyThreadsRegistryGrowth(t *testing.T) {
+	h := pmem.New(1 << 24)
+	opts := DefaultOptions()
+	opts.LogEntries = 16
+	rt := NewRuntime(h, opts)
+	for i := 0; i < 64; i++ {
+		if _, err := rt.NewThread(); err != nil {
+			t.Fatalf("thread %d: %v", i, err)
+		}
+	}
+	// All 64 logs recoverable.
+	rep, err := Recover(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LogsScanned != 64 {
+		t.Fatalf("scanned %d logs", rep.LogsScanned)
+	}
+}
+
+func TestRecoverCorruptRegistryCount(t *testing.T) {
+	h := pmem.New(1 << 20)
+	rt := NewRuntime(h, DefaultOptions())
+	if _, err := rt.NewThread(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the registry count beyond its capacity.
+	reg := h.Meta()
+	h.WriteUint64(reg, 1<<40)
+	h.Persist(reg, 8)
+	if _, err := Recover(h); err == nil {
+		t.Fatal("Recover accepted a corrupt registry")
+	}
+}
+
+func TestDoubleCrashDoubleRecovery(t *testing.T) {
+	h := pmem.New(1 << 20)
+	opts := DefaultOptions()
+	opts.Policy = core.Lazy
+	rt := NewRuntime(h, opts)
+	th, _ := rt.NewThread()
+	a, _ := h.Alloc(8)
+
+	th.FASEBegin()
+	th.Store64(a, 1)
+	th.FASEEnd()
+
+	th.FASEBegin()
+	th.Store64(a, 2)
+	h.Crash()
+	if _, err := Recover(h); err != nil {
+		t.Fatal(err)
+	}
+	// Crash again immediately (during "restart"): state must be stable.
+	h.Crash()
+	if _, err := Recover(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.ReadUint64(a); got != 1 {
+		t.Fatalf("value after double crash: %d", got)
+	}
+}
+
+func TestRecoverAfterCleanShutdownIsNoop(t *testing.T) {
+	h := pmem.New(1 << 20)
+	rt := NewRuntime(h, DefaultOptions())
+	th, _ := rt.NewThread()
+	a, _ := h.Alloc(8)
+	th.FASEBegin()
+	th.Store64(a, 5)
+	th.FASEEnd()
+	rt.Close()
+	rep, err := Recover(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FASEsRolledBack != 0 || rep.WordsRestored != 0 {
+		t.Fatalf("clean shutdown rolled back: %+v", rep)
+	}
+}
+
+func TestSetRecordingGuards(t *testing.T) {
+	h := pmem.New(1 << 20)
+	rt := NewRuntime(h, DefaultOptions())
+	th, _ := rt.NewThread()
+	a, _ := h.Alloc(8)
+	th.FASEBegin()
+	th.SetRecording(false) // inside a FASE: must be refused
+	th.Store64(a, 1)
+	th.FASEEnd()
+	th.SetRecording(false)
+	th.Store64(a, 2) // not recorded
+	th.SetRecording(true)
+	th.Store64(a, 3)
+	rt.Close()
+	tr := rt.Trace()
+	if got := tr.Threads[0].NumWrites(); got != 2 {
+		t.Fatalf("recorded %d writes, want 2 (pause honored, in-FASE toggle refused)", got)
+	}
+}
+
+func TestDisableTraceThreads(t *testing.T) {
+	h := pmem.New(1 << 20)
+	opts := DefaultOptions()
+	opts.DisableTrace = true
+	rt := NewRuntime(h, opts)
+	th, _ := rt.NewThread()
+	a, _ := h.Alloc(8)
+	th.Store64(a, 1)
+	th.SetRecording(true) // no-op without a builder
+	th.Store64(a, 2)
+	rt.Close()
+	if got := len(rt.Trace().Threads); got != 0 {
+		t.Fatalf("untraced runtime produced %d sequences", got)
+	}
+}

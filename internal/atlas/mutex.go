@@ -1,0 +1,37 @@
+package atlas
+
+import "sync"
+
+// Mutex is Atlas's actual programming model: failure-atomic sections are
+// not annotated explicitly but inferred from critical sections ("Atlas:
+// leveraging locks for non-volatile memory consistency"). Acquiring a
+// Mutex on a thread that holds no other Atlas locks opens a FASE; the
+// FASE closes when the thread releases its last Atlas lock. Nested and
+// overlapping critical sections therefore merge into one outermost
+// section, exactly the semantics the paper's Section II-A describes
+// (nesting "permits more parallelism as well as updates to persistent
+// memory outside an atomic section").
+//
+// A Mutex provides mutual exclusion between runtime threads as an
+// ordinary sync.Mutex does; the Atlas semantics rides on top.
+type Mutex struct {
+	mu sync.Mutex
+}
+
+// Lock acquires the mutex on behalf of th, opening a FASE if th holds no
+// other Atlas lock.
+func (m *Mutex) Lock(th *Thread) {
+	m.mu.Lock()
+	th.FASEBegin()
+}
+
+// Unlock releases the mutex; releasing the thread's last Atlas lock closes
+// the FASE (draining the software cache and committing the undo log).
+func (m *Mutex) Unlock(th *Thread) {
+	th.FASEEnd()
+	m.mu.Unlock()
+}
+
+// LockedSections reports the thread's current Atlas lock nesting depth
+// (the FASE is open while it is positive).
+func (th *Thread) LockedSections() int { return th.depth }

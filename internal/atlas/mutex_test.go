@@ -1,0 +1,98 @@
+package atlas
+
+import (
+	"sync"
+	"testing"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/pmem"
+)
+
+func TestMutexInfersFASE(t *testing.T) {
+	rt, th := newTestRuntime(t, core.Lazy)
+	h := rt.Heap()
+	a, _ := h.Alloc(8)
+	var m Mutex
+	m.Lock(th)
+	if !th.InFASE() {
+		t.Fatal("lock did not open a FASE")
+	}
+	th.Store64(a, 7)
+	m.Unlock(th)
+	if th.InFASE() {
+		t.Fatal("unlock did not close the FASE")
+	}
+	// The critical section's write is durable.
+	h.Crash()
+	if _, err := Recover(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.ReadUint64(a); got != 7 {
+		t.Fatalf("critical-section write lost: %d", got)
+	}
+}
+
+func TestNestedLocksMergeIntoOneSection(t *testing.T) {
+	rt, th := newTestRuntime(t, core.Lazy)
+	h := rt.Heap()
+	a, _ := h.Alloc(16)
+	var m1, m2 Mutex
+	m1.Lock(th)
+	th.Store64(a, 1)
+	m2.Lock(th) // nested: still one outermost FASE
+	th.Store64(a+8, 2)
+	m2.Unlock(th)
+	if !th.InFASE() {
+		t.Fatal("inner unlock closed the outer section")
+	}
+	if th.LockedSections() != 1 {
+		t.Fatalf("depth = %d", th.LockedSections())
+	}
+	// Crash before the outermost unlock: everything rolls back together.
+	h.Crash()
+	if _, err := Recover(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ReadUint64(a) != 0 || h.ReadUint64(a+8) != 0 {
+		t.Fatal("nested section not atomic with outer")
+	}
+	rt.Close()
+}
+
+func TestMutexProvidesMutualExclusion(t *testing.T) {
+	h := pmem.New(1 << 23)
+	opts := DefaultOptions()
+	opts.Policy = core.Lazy
+	rt := NewRuntime(h, opts)
+	counter, _ := h.Alloc(8)
+	var m Mutex
+	const workers, incs = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th, err := rt.NewThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				m.Lock(th)
+				th.Store64(counter, th.Load64(counter)+1)
+				m.Unlock(th)
+			}
+		}(th)
+	}
+	wg.Wait()
+	if got := h.ReadUint64(counter); got != workers*incs {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*incs)
+	}
+	// Every increment was a durable critical section.
+	h.Crash()
+	if _, err := Recover(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.ReadUint64(counter); got != workers*incs {
+		t.Fatalf("counter after crash = %d", got)
+	}
+}

@@ -1,0 +1,271 @@
+// Package atlas is a Go reimplementation of the runtime half of Atlas
+// (Chakrabarti, Boehm, Bhandari, OOPSLA'14), the system the paper's
+// software cache plugs into: failure-atomic sections (FASEs) with nesting,
+// word-granularity undo logging for failure atomicity, crash recovery, and
+// per-thread persistence policies that decide when dirty cache lines are
+// written back to NVRAM.
+//
+// The paper instruments stores with an LLVM pass; here workloads call the
+// Thread API explicitly (Store64/StoreBytes inside FASEBegin/FASEEnd),
+// which delivers the identical event stream to the policy. Each Thread
+// also records its events as a trace.ThreadSeq so a workload executed once
+// can be replayed under every policy and cost model.
+package atlas
+
+import (
+	"fmt"
+	"sync"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/pmem"
+	"nvmcache/internal/trace"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// Policy selects the persistence technique for every thread.
+	Policy core.PolicyKind
+	// Config tunes the policies (cache sizes, burst length, ...).
+	Config core.Config
+	// LogEntries is the per-thread undo log capacity in entries; it bounds
+	// the number of distinct words written per FASE. Default 4096 (64 KiB
+	// of log per thread).
+	LogEntries int
+	// RecordTrace enables per-thread trace recording (default on).
+	DisableTrace bool
+}
+
+// DefaultOptions uses the adaptive software cache with paper constants.
+func DefaultOptions() Options {
+	return Options{Policy: core.SoftCacheOnline, Config: core.DefaultConfig(), LogEntries: 1 << 12}
+}
+
+// Runtime owns a persistent heap and its threads.
+type Runtime struct {
+	heap *pmem.Heap
+	opts Options
+
+	mu      sync.Mutex
+	threads []*Thread
+	nextID  int32
+}
+
+// NewRuntime wraps an existing heap. Call Recover first when reattaching to
+// a heap that may have crashed mid-FASE.
+func NewRuntime(heap *pmem.Heap, opts Options) *Runtime {
+	if opts.LogEntries <= 0 {
+		opts.LogEntries = 1 << 12
+	}
+	return &Runtime{heap: heap, opts: opts}
+}
+
+// Heap returns the underlying persistent heap.
+func (rt *Runtime) Heap() *pmem.Heap { return rt.heap }
+
+// NewThread registers a new mutator thread with its own software cache,
+// undo log and trace recorder. Threads are independent (no shared policy
+// state), mirroring the paper's per-thread, lock-free cache design.
+func (rt *Runtime) NewThread() (*Thread, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	id := rt.nextID
+	rt.nextID++
+	log, err := newUndoLog(rt.heap, rt.opts.LogEntries)
+	if err != nil {
+		return nil, fmt.Errorf("atlas: creating undo log for thread %d: %w", id, err)
+	}
+	t := &Thread{
+		id:       id,
+		rt:       rt,
+		log:      log,
+		counting: core.NewCountingFlusher(pmem.Flusher{H: rt.heap}),
+	}
+	t.policy = core.NewPolicy(rt.opts.Policy, rt.opts.Config, t.counting)
+	if !rt.opts.DisableTrace {
+		t.builder = trace.NewBuilder(id)
+		t.recording = true
+	}
+	rt.threads = append(rt.threads, t)
+	return t, nil
+}
+
+// Close finishes every thread: residual dirty state is drained so a clean
+// shutdown is durable.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, t := range rt.threads {
+		t.finish()
+	}
+}
+
+// Trace returns the recorded multi-thread trace (nil sequences are skipped
+// for threads created after DisableTrace).
+func (rt *Runtime) Trace() *trace.Trace {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	seqs := make([]*trace.ThreadSeq, 0, len(rt.threads))
+	for _, t := range rt.threads {
+		if t.builder != nil {
+			seqs = append(seqs, t.builder.Finish())
+		}
+	}
+	return trace.NewTrace(seqs...)
+}
+
+// FlushStats sums the flush counters of all threads.
+func (rt *Runtime) FlushStats() core.FlushStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var total core.FlushStats
+	for _, t := range rt.threads {
+		s := t.counting.Stats()
+		total.Async += s.Async
+		total.Drained += s.Drained
+		total.Barriers += s.Barriers
+	}
+	return total
+}
+
+// Thread is one mutator's handle: all persistent stores of one goroutine
+// go through exactly one Thread. A Thread is not safe for concurrent use.
+type Thread struct {
+	id        int32
+	rt        *Runtime
+	policy    core.Policy
+	counting  *core.CountingFlusher
+	builder   *trace.Builder
+	recording bool
+	log       *undoLog
+	depth     int
+	stores    int64
+	finished  bool
+}
+
+// ID returns the thread id.
+func (t *Thread) ID() int32 { return t.id }
+
+// Heap returns the runtime's persistent heap.
+func (t *Thread) Heap() *pmem.Heap { return t.rt.heap }
+
+// FASEBegin enters a failure-atomic section. Sections nest; only the
+// outermost pair delimits the atomicity and flush boundary, as in Atlas.
+func (t *Thread) FASEBegin() {
+	t.depth++
+	if t.depth == 1 {
+		t.log.begin()
+		t.policy.FASEBegin()
+		if t.recording {
+			t.builder.Begin()
+		}
+	}
+}
+
+// FASEEnd leaves a section. Closing the outermost level drains the policy
+// (persisting every line written in the FASE) and then commits and clears
+// the undo log, making the FASE durable.
+func (t *Thread) FASEEnd() {
+	if t.depth == 0 {
+		return
+	}
+	t.depth--
+	if t.depth > 0 {
+		return
+	}
+	t.policy.FASEEnd()
+	t.log.commit()
+	if t.recording {
+		t.builder.End()
+	}
+}
+
+// InFASE reports whether the thread is inside a section.
+func (t *Thread) InFASE() bool { return t.depth > 0 }
+
+// Stores returns the number of persistent stores issued.
+func (t *Thread) Stores() int64 { return t.stores }
+
+// Store64 performs a persistent store of one 64-bit word: undo-log the old
+// value (write-ahead), apply the write to the volatile view, and hand the
+// line to the persistence policy. A store outside any FASE is treated as a
+// singleton FASE (Atlas flushes such "durable by next barrier" stores
+// promptly).
+func (t *Thread) Store64(addr uint64, v uint64) {
+	implicit := t.depth == 0
+	if implicit {
+		t.FASEBegin()
+	}
+	t.log.record(addr, t.rt.heap.ReadUint64(addr))
+	t.rt.heap.WriteUint64(addr, v)
+	t.noteStore(addr, 8)
+	if implicit {
+		t.FASEEnd()
+	}
+}
+
+// StoreBytes performs a persistent store of an arbitrary byte range,
+// logging old contents word by word.
+func (t *Thread) StoreBytes(addr uint64, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	implicit := t.depth == 0
+	if implicit {
+		t.FASEBegin()
+	}
+	// Log the covered words (8-byte granules aligned down).
+	start := addr &^ 7
+	end := addr + uint64(len(b))
+	for w := start; w < end; w += 8 {
+		t.log.record(w, t.rt.heap.ReadUint64(w))
+	}
+	t.rt.heap.WriteBytes(addr, b)
+	t.noteStore(addr, uint64(len(b)))
+	if implicit {
+		t.FASEEnd()
+	}
+}
+
+// Load64 reads a word (reads are not instrumented; the write-combining
+// cache considers only writes, Section III-A).
+func (t *Thread) Load64(addr uint64) uint64 { return t.rt.heap.ReadUint64(addr) }
+
+// LoadBytes reads a byte range.
+func (t *Thread) LoadBytes(addr, n uint64) []byte { return t.rt.heap.ReadBytes(addr, n) }
+
+func (t *Thread) noteStore(addr, size uint64) {
+	first := addr >> trace.LineShift
+	last := (addr + size - 1) >> trace.LineShift
+	for l := first; l <= last; l++ {
+		t.stores++
+		t.policy.Store(trace.LineAddr(l))
+		if t.recording {
+			t.builder.Store(trace.LineAddr(l))
+		}
+	}
+}
+
+func (t *Thread) finish() {
+	if t.finished {
+		return
+	}
+	for t.depth > 0 {
+		t.FASEEnd()
+	}
+	t.policy.Finish()
+	t.finished = true
+}
+
+// Policy exposes the thread's policy (for AdaptReport inspection).
+func (t *Thread) Policy() core.Policy { return t.policy }
+
+// SetRecording toggles trace recording mid-run, outside any FASE. Workload
+// warm-up phases (for example pre-populating a store before the measured
+// run) switch recording off so the trace reflects steady-state behaviour.
+// It has no effect on threads created with DisableTrace.
+func (t *Thread) SetRecording(on bool) {
+	if t.builder == nil || t.depth > 0 {
+		return
+	}
+	t.recording = on
+}

@@ -1,0 +1,173 @@
+package atlas
+
+import (
+	"fmt"
+
+	"nvmcache/internal/pmem"
+	"nvmcache/internal/trace"
+)
+
+// Undo logging gives FASEs their all-or-nothing guarantee: before a word
+// of persistent data is overwritten inside a FASE, its old value is
+// appended to a write-ahead log and persisted; at FASE end, after the
+// persistence policy has drained the data writes, the log is truncated
+// (commit). Recovery finds logs whose status is still active — the crash
+// hit mid-FASE — and applies their entries backwards, restoring the
+// pre-FASE state.
+//
+// Log layout in the persistent heap (all words little-endian):
+//
+//	base+0:  status (1 = active FASE, 0 = committed)
+//	base+8:  entry count
+//	base+64: entries, 16 bytes each: data address, old value
+//
+// Logs are registered in a registry block pointed to by the heap's Meta
+// slot, so recovery can find them without any volatile state:
+//
+//	reg+0:  number of registered logs
+//	reg+8:  log base addresses, 8 bytes each
+const (
+	logHeaderSize = trace.LineSize
+	logEntrySize  = 16
+	registryCap   = 1024
+	registrySize  = 8 + 8*registryCap
+	logStatusOff  = 0
+	logCountOff   = 8
+)
+
+type undoLog struct {
+	heap    *pmem.Heap
+	base    uint64
+	cap     int
+	count   int
+	dedup   map[uint64]struct{} // words already logged in this FASE
+	dropped int64               // records beyond capacity (reported, not fatal)
+}
+
+// ensureRegistry finds or creates the heap's log registry.
+func ensureRegistry(h *pmem.Heap) (uint64, error) {
+	if m := h.Meta(); m != 0 {
+		return m, nil
+	}
+	reg, err := h.AllocLines(registrySize)
+	if err != nil {
+		return 0, fmt.Errorf("atlas: allocating log registry: %w", err)
+	}
+	h.WriteUint64(reg, 0)
+	h.Persist(reg, 8)
+	h.SetMeta(reg)
+	return reg, nil
+}
+
+func newUndoLog(h *pmem.Heap, entries int) (*undoLog, error) {
+	reg, err := ensureRegistry(h)
+	if err != nil {
+		return nil, err
+	}
+	n := h.ReadUint64(reg)
+	if n >= registryCap {
+		return nil, fmt.Errorf("atlas: log registry full (%d logs)", n)
+	}
+	base, err := h.AllocLines(uint64(logHeaderSize + entries*logEntrySize))
+	if err != nil {
+		return nil, fmt.Errorf("atlas: allocating undo log: %w", err)
+	}
+	h.WriteUint64(base+logStatusOff, 0)
+	h.WriteUint64(base+logCountOff, 0)
+	h.Persist(base, logHeaderSize)
+	h.WriteUint64(reg+8+8*n, base)
+	h.WriteUint64(reg, n+1)
+	h.Persist(reg, 8+8*(n+1))
+	return &undoLog{
+		heap:  h,
+		base:  base,
+		cap:   entries,
+		dedup: make(map[uint64]struct{}, 256),
+	}, nil
+}
+
+// begin opens a FASE: mark the log active before any data write.
+func (l *undoLog) begin() {
+	l.count = 0
+	clear(l.dedup)
+	l.heap.WriteUint64(l.base+logStatusOff, 1)
+	l.heap.WriteUint64(l.base+logCountOff, 0)
+	l.heap.Persist(l.base, logHeaderSize)
+}
+
+// record write-ahead-logs one word's old value. Each word is logged once
+// per FASE (the first old value is the one recovery must restore).
+func (l *undoLog) record(addr uint64, old uint64) {
+	word := addr &^ 7
+	if _, ok := l.dedup[word]; ok {
+		return
+	}
+	l.dedup[word] = struct{}{}
+	if l.count >= l.cap {
+		l.dropped++
+		return
+	}
+	e := l.base + logHeaderSize + uint64(l.count)*logEntrySize
+	l.heap.WriteUint64(e, word)
+	l.heap.WriteUint64(e+8, old)
+	l.heap.Persist(e, logEntrySize)
+	l.count++
+	l.heap.WriteUint64(l.base+logCountOff, uint64(l.count))
+	l.heap.Persist(l.base+logCountOff, 8)
+}
+
+// commit closes the FASE after the policy drained the data writes.
+func (l *undoLog) commit() {
+	l.heap.WriteUint64(l.base+logStatusOff, 0)
+	l.heap.WriteUint64(l.base+logCountOff, 0)
+	l.heap.Persist(l.base, logHeaderSize)
+	l.count = 0
+	clear(l.dedup)
+}
+
+// RecoveryReport summarises what Recover did.
+type RecoveryReport struct {
+	// LogsScanned is the number of registered undo logs.
+	LogsScanned int
+	// FASEsRolledBack counts logs that were active at the crash.
+	FASEsRolledBack int
+	// WordsRestored counts undo entries applied.
+	WordsRestored int
+}
+
+// Recover must be called after reattaching to a heap that may have crashed.
+// It rolls back every FASE that was in flight, restoring the heap to a
+// state in which every FASE is either completely applied (it committed
+// before the crash and its policy drained its writes) or completely absent.
+func Recover(h *pmem.Heap) (RecoveryReport, error) {
+	var rep RecoveryReport
+	reg := h.Meta()
+	if reg == 0 {
+		return rep, nil // never ran: nothing to recover
+	}
+	n := h.ReadUint64(reg)
+	if n > registryCap {
+		return rep, fmt.Errorf("atlas: corrupt registry count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		base := h.ReadUint64(reg + 8 + 8*i)
+		rep.LogsScanned++
+		if h.ReadUint64(base+logStatusOff) == 0 {
+			continue
+		}
+		count := h.ReadUint64(base + logCountOff)
+		rep.FASEsRolledBack++
+		for j := int64(count) - 1; j >= 0; j-- {
+			e := base + logHeaderSize + uint64(j)*logEntrySize
+			addr := h.ReadUint64(e)
+			old := h.ReadUint64(e + 8)
+			h.WriteUint64(addr, old)
+			h.Persist(addr, 8)
+			rep.WordsRestored++
+		}
+		h.WriteUint64(base+logStatusOff, 0)
+		h.WriteUint64(base+logCountOff, 0)
+		h.Persist(base, logHeaderSize)
+	}
+	return rep, nil
+}

@@ -1,0 +1,48 @@
+// Package bench implements the paper's four micro-benchmarks (Section
+// IV-B) as real persistent data structures on the Atlas runtime:
+// persistent-array, a Michael–Scott two-lock queue, a singly linked list
+// with perfect-shuffle insertion, and an open hash table. Each benchmark
+// runs its mutations through atlas.Thread, so the recorded trace is the
+// genuine store stream of the data structure, and the same run is also
+// crash-recoverable.
+package bench
+
+import (
+	"fmt"
+
+	"nvmcache/internal/atlas"
+	"nvmcache/internal/core"
+	"nvmcache/internal/pmem"
+	"nvmcache/internal/trace"
+)
+
+// Result bundles a micro-benchmark run.
+type Result struct {
+	Trace *trace.Trace
+	Heap  *pmem.Heap
+}
+
+// run sets up a heap + runtime with the no-op BEST policy (the trace is
+// policy-independent; policies are evaluated later by replay) and executes
+// body with the requested number of threads.
+func run(heapBytes int, threads int, body func(rt *atlas.Runtime, ths []*atlas.Thread) error) (*Result, error) {
+	opts := atlas.DefaultOptions()
+	opts.Policy = core.Best                    // cheapest: recording only
+	opts.LogEntries = 1 << 15                  // big FASEs (table growth, array sweeps)
+	heapBytes += threads * (16*(1<<15) + 4096) // per-thread undo logs
+	h := pmem.New(heapBytes)
+	rt := atlas.NewRuntime(h, opts)
+	ths := make([]*atlas.Thread, threads)
+	for i := range ths {
+		t, err := rt.NewThread()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		ths[i] = t
+	}
+	if err := body(rt, ths); err != nil {
+		return nil, err
+	}
+	rt.Close()
+	return &Result{Trace: rt.Trace(), Heap: h}, nil
+}

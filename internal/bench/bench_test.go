@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"testing"
+
+	"nvmcache/internal/atlas"
+	"nvmcache/internal/core"
+	"nvmcache/internal/pmem"
+	"nvmcache/internal/trace"
+)
+
+func newThread(t *testing.T) (*atlas.Runtime, *atlas.Thread) {
+	t.Helper()
+	h := pmem.New(1 << 22)
+	opts := atlas.DefaultOptions()
+	opts.Policy = core.Lazy
+	rt := atlas.NewRuntime(h, opts)
+	th, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, th
+}
+
+func TestPersistentArrayTraceShape(t *testing.T) {
+	c := PersistentArrayConfig{Inner: 400, Outer: 50}
+	res, err := RunPersistentArray(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.ComputeStats(res.Trace)
+	if st.TotalFASEs != 1 {
+		t.Fatalf("FASEs = %d, want 1", st.TotalFASEs)
+	}
+	if st.TotalWrites != c.Stores() {
+		t.Fatalf("stores = %d, want %d", st.TotalWrites, c.Stores())
+	}
+	// 400 4-byte ints, line-aligned: exactly 25 array lines + 1 flag line.
+	if st.DistinctLine != 26 {
+		t.Fatalf("distinct lines = %d, want 26", st.DistinctLine)
+	}
+	// Paper Table III: AT removes 15/16 (ratio 1/16); SC at ≥26 hits the
+	// LA bound.
+	cfg := core.DefaultConfig()
+	at := core.FlushRatio(core.AtlasTable, cfg, res.Trace)
+	if at < 0.055 || at > 0.07 {
+		t.Errorf("AT ratio %v, want ≈ 0.0625", at)
+	}
+	cfg.PresetSize = 26
+	sc := core.FlushRatio(core.SoftCacheOffline, cfg, res.Trace)
+	la := core.FlushRatio(core.Lazy, cfg, res.Trace)
+	if sc != la {
+		t.Errorf("SC %v != LA %v on persistent-array", sc, la)
+	}
+}
+
+func TestPersistentArrayScale(t *testing.T) {
+	c := DefaultPersistentArray().Scale(0.01)
+	if c.Outer != 25 || c.Inner != 400 {
+		t.Fatalf("scaled config %+v", c)
+	}
+}
+
+func TestMSQueueFIFO(t *testing.T) {
+	_, th := newThread(t)
+	q, err := NewMSQueue(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Dequeue(th); ok {
+		t.Fatal("dequeue from empty queue succeeded")
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := q.Enqueue(th, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len(th) != 5 {
+		t.Fatalf("Len = %d", q.Len(th))
+	}
+	for i := uint64(1); i <= 5; i++ {
+		v, ok := q.Dequeue(th)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got %d ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestMSQueueCrashRecovery(t *testing.T) {
+	rt, th := newThread(t)
+	h := rt.Heap()
+	q, err := NewMSQueue(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(th, 11)
+	q.Enqueue(th, 22)
+	h.Crash()
+	if _, err := atlas.Recover(h); err != nil {
+		t.Fatal(err)
+	}
+	// Lazy policy drains at FASE end: both enqueues are durable.
+	v, ok := q.Dequeue(th)
+	if !ok || v != 11 {
+		t.Fatalf("after crash: got %d ok=%v, want 11", v, ok)
+	}
+}
+
+func TestRunMSQueueTrace(t *testing.T) {
+	res, err := RunMSQueue(MSQueueConfig{Ops: 600, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.ComputeStats(res.Trace)
+	if st.Threads != 2 {
+		t.Fatalf("threads = %d", st.Threads)
+	}
+	// Each op is its own FASE; tiny FASEs ⇒ no combining headroom: the
+	// paper's LA = AT = SC regime.
+	cfg := core.DefaultConfig()
+	cfg.BurstLength = 256
+	la := core.FlushRatio(core.Lazy, cfg, res.Trace)
+	at := core.FlushRatio(core.AtlasTable, cfg, res.Trace)
+	sc := core.FlushRatio(core.SoftCacheOnline, cfg, res.Trace)
+	if at != la || sc != la {
+		t.Errorf("queue: LA=%v AT=%v SC=%v, want all equal", la, at, sc)
+	}
+	if la < 0.3 || la > 0.9 {
+		t.Errorf("LA ratio %v outside the micro-benchmark regime", la)
+	}
+}
+
+func TestChainInsertAndWalk(t *testing.T) {
+	_, th := newThread(t)
+	ch, err := NewChain(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ch.InsertAt(th, 0, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ch.Len(th) != 10 {
+		t.Fatalf("Len = %d", ch.Len(th))
+	}
+	vals := ch.Values(th)
+	if len(vals) != 10 || vals[0] != 9 || vals[9] != 0 {
+		t.Fatalf("values = %v", vals)
+	}
+	// Middle insertion.
+	if err := ch.InsertAt(th, 5, 777); err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.Values(th)[5]; got != 777 {
+		t.Fatalf("middle insert landed at %v", ch.Values(th))
+	}
+}
+
+func TestRunChainTrace(t *testing.T) {
+	res, err := RunChain(ChainConfig{Elements: 400, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.ComputeStats(res.Trace)
+	// One FASE per insertion (plus the two header-init FASEs).
+	if st.TotalFASEs < 400 || st.TotalFASEs > 404 {
+		t.Fatalf("FASEs = %d, want ≈ 400", st.TotalFASEs)
+	}
+	// Small FASEs: ratio near the paper's 0.6, equal across policies.
+	cfg := core.DefaultConfig()
+	cfg.BurstLength = 256
+	la := core.FlushRatio(core.Lazy, cfg, res.Trace)
+	sc := core.FlushRatio(core.SoftCacheOnline, cfg, res.Trace)
+	if sc != la {
+		t.Errorf("chain: SC=%v LA=%v, want equal", sc, la)
+	}
+	if la < 0.4 || la > 0.8 {
+		t.Errorf("chain LA ratio %v, want ≈ 0.6", la)
+	}
+}
+
+func TestHTablePutGetDelete(t *testing.T) {
+	_, th := newThread(t)
+	ht, err := NewHTable(th, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := ht.Put(th, i, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ht.Count(th) != 100 {
+		t.Fatalf("Count = %d", ht.Count(th))
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := ht.Get(th, i)
+		if !ok || v != i*10 {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	// Update.
+	ht.Put(th, 7, 999)
+	if v, _ := ht.Get(th, 7); v != 999 {
+		t.Fatal("update lost")
+	}
+	// Delete.
+	if !ht.Delete(th, 7) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := ht.Get(th, 7); ok {
+		t.Fatal("deleted key still present")
+	}
+	if ht.Delete(th, 7) {
+		t.Fatal("double delete succeeded")
+	}
+	if ht.Count(th) != 99 {
+		t.Fatalf("Count after delete = %d", ht.Count(th))
+	}
+}
+
+func TestHTableGrowthPreservesEntries(t *testing.T) {
+	_, th := newThread(t)
+	ht, err := NewHTable(th, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(500) // forces several growth rehashes
+	for i := uint64(0); i < n; i++ {
+		if err := ht.Put(th, i*7919, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := ht.Get(th, i*7919); !ok || v != i {
+			t.Fatalf("key %d lost after growth (ok=%v v=%d)", i, ok, v)
+		}
+	}
+	if ht.nb <= 4 {
+		t.Fatal("table never grew")
+	}
+}
+
+func TestRunHTableTrace(t *testing.T) {
+	res, err := RunHTable(HTableConfig{Keys: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.BurstLength = 1024
+	la := core.FlushRatio(core.Lazy, cfg, res.Trace)
+	at := core.FlushRatio(core.AtlasTable, cfg, res.Trace)
+	sc := core.FlushRatio(core.SoftCacheOnline, cfg, res.Trace)
+	// Paper Table III ordering for hash: LA < SC ≤ AT < 1.
+	if !(la <= sc && sc <= at && at < 1) {
+		t.Errorf("hash ratios LA=%v SC=%v AT=%v violate paper ordering", la, sc, at)
+	}
+}
+
+func TestRunFunctionsProduceValidTraces(t *testing.T) {
+	pa, err := RunPersistentArray(PersistentArrayConfig{Inner: 64, Outer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := RunMSQueue(MSQueueConfig{Ops: 60, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunChain(ChainConfig{Elements: 50, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := RunHTable(HTableConfig{Keys: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range []*Result{pa, q, c, ht} {
+		if err := res.Trace.Validate(); err != nil {
+			t.Errorf("trace %d invalid: %v", i, err)
+		}
+	}
+}

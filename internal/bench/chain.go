@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"nvmcache/internal/atlas"
+	"nvmcache/internal/pmem"
+)
+
+// Chain is the paper's singly linked list micro-benchmark: N elements are
+// inserted "in a perfect shuffle pattern", each insertion failure-atomic.
+// An insertion writes the new node (value and next share the node's single
+// cache line), the predecessor's next pointer, and the list's element
+// counter — about five stores to three distinct lines per FASE, which is
+// where the paper's 0.6 flush ratio for every combining policy comes from
+// (tiny FASEs leave nothing to combine).
+type Chain struct {
+	heap *pmem.Heap
+	base uint64 // header: head ptr at +0, count at +8
+	mu   sync.Mutex
+}
+
+// NewChain allocates an empty list.
+func NewChain(t *atlas.Thread) (*Chain, error) {
+	base, err := t.Heap().AllocLines(64)
+	if err != nil {
+		return nil, fmt.Errorf("chain: %w", err)
+	}
+	t.FASEBegin()
+	t.Store64(base, 0)
+	t.Store64(base+8, 0)
+	t.FASEEnd()
+	return &Chain{heap: t.Heap(), base: base}, nil
+}
+
+// InsertAt inserts v after the pos-th node (0 = at head), atomically.
+func (c *Chain) InsertAt(t *atlas.Thread, pos int, v uint64) error {
+	node, err := c.heap.AllocLines(nodeSize)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.FASEBegin()
+	defer t.FASEEnd()
+	t.Store64(node+nValOff, v)
+	// Walk to the predecessor.
+	pred := uint64(0)
+	cur := t.Load64(c.base)
+	for i := 0; i < pos && cur != 0; i++ {
+		pred = cur
+		cur = t.Load64(cur + nNextOff)
+	}
+	t.Store64(node+nNextOff, cur)
+	if pred == 0 {
+		t.Store64(c.base, node)
+	} else {
+		t.Store64(pred+nNextOff, node)
+	}
+	t.Store64(c.base+8, t.Load64(c.base+8)+1)
+	return nil
+}
+
+// Len returns the persistent element counter.
+func (c *Chain) Len(t *atlas.Thread) uint64 { return t.Load64(c.base + 8) }
+
+// Values walks the list front to back.
+func (c *Chain) Values(t *atlas.Thread) []uint64 {
+	var out []uint64
+	for p := t.Load64(c.base); p != 0; p = t.Load64(p + nNextOff) {
+		out = append(out, t.Load64(p+nValOff))
+	}
+	return out
+}
+
+// ChainConfig sizes the linked-list benchmark.
+type ChainConfig struct {
+	Elements int // paper: 10000
+	Threads  int
+}
+
+// DefaultChain matches the paper's problem size.
+func DefaultChain() ChainConfig { return ChainConfig{Elements: 10000, Threads: 2} }
+
+// Scale shrinks the element count by factor s.
+func (c ChainConfig) Scale(s float64) ChainConfig {
+	c.Elements = int(float64(c.Elements) * s)
+	if c.Elements < 4 {
+		c.Elements = 4
+	}
+	return c
+}
+
+// RunChain executes the benchmark: threads share the insertion stream;
+// element k is inserted at position given by a perfect shuffle (bit-reversal
+// of k within the current size), spreading insertions across the list.
+func RunChain(c ChainConfig) (*Result, error) {
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	heap := 64 * (c.Elements + 1024)
+	return run(heap, c.Threads, func(rt *atlas.Runtime, ths []*atlas.Thread) error {
+		ch, err := NewChain(ths[0])
+		if err != nil {
+			return err
+		}
+		perThread := c.Elements / len(ths)
+		var wg sync.WaitGroup
+		errs := make([]error, len(ths))
+		for ti, th := range ths {
+			wg.Add(1)
+			go func(ti int, th *atlas.Thread) {
+				defer wg.Done()
+				for i := 0; i < perThread; i++ {
+					// Perfect shuffle: interleave front/middle positions.
+					pos := 0
+					if i%2 == 1 {
+						pos = i / 2
+					}
+					if err := ch.InsertAt(th, pos, uint64(ti<<32|i)); err != nil {
+						errs[ti] = err
+						return
+					}
+				}
+			}(ti, th)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+
+	"nvmcache/internal/atlas"
+	"nvmcache/internal/pmem"
+)
+
+// HTable is the paper's hash micro-benchmark: a single-threaded, separately
+// chained open hash table (after Clark's C hashtable, the version in the
+// Atlas repository). Inserts, lookups and deletes each run in their own
+// FASE; occasional growth rehashes the whole table inside one big FASE,
+// which is the phase where write combining pays off and where AT and SC
+// diverge slightly (paper: AT 0.621 vs SC 0.595 vs LA 0.501).
+//
+// Bucket array: one pointer per bucket. Entry node (one line): key at +0,
+// value at +8, next at +16.
+type HTable struct {
+	heap    *pmem.Heap
+	base    uint64 // header: buckets ptr +0, nbuckets +8, count +16
+	buckets uint64
+	nb      uint64
+	count   uint64
+}
+
+const (
+	eKeyOff  = 0
+	eValOff  = 8
+	eNextOff = 16
+)
+
+// NewHTable creates a table with the given initial bucket count (rounded
+// up to at least 4).
+func NewHTable(t *atlas.Thread, nbuckets int) (*HTable, error) {
+	if nbuckets < 4 {
+		nbuckets = 4
+	}
+	h := t.Heap()
+	base, err := h.AllocLines(64)
+	if err != nil {
+		return nil, fmt.Errorf("htable: %w", err)
+	}
+	buckets, err := h.AllocLines(uint64(8 * nbuckets))
+	if err != nil {
+		return nil, fmt.Errorf("htable: %w", err)
+	}
+	t.FASEBegin()
+	for i := 0; i < nbuckets; i++ {
+		t.Store64(buckets+uint64(8*i), 0)
+	}
+	t.Store64(base, buckets)
+	t.Store64(base+8, uint64(nbuckets))
+	t.Store64(base+16, 0)
+	t.FASEEnd()
+	return &HTable{heap: h, base: base, buckets: buckets, nb: uint64(nbuckets)}, nil
+}
+
+func hashKey(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+// Put inserts or updates a key, growing the table at load factor 0.75.
+func (ht *HTable) Put(t *atlas.Thread, key, val uint64) error {
+	t.FASEBegin()
+	defer t.FASEEnd()
+	slot := ht.buckets + 8*(hashKey(key)%ht.nb)
+	for p := t.Load64(slot); p != 0; p = t.Load64(p + eNextOff) {
+		if t.Load64(p+eKeyOff) == key {
+			t.Store64(p+eValOff, val)
+			return nil
+		}
+	}
+	node, err := ht.heap.AllocLines(64)
+	if err != nil {
+		return err
+	}
+	t.Store64(node+eKeyOff, key)
+	t.Store64(node+eValOff, val)
+	t.Store64(node+eNextOff, t.Load64(slot))
+	t.Store64(slot, node)
+	ht.count++
+	t.Store64(ht.base+16, ht.count)
+	if ht.count*4 > ht.nb*3 {
+		return ht.grow(t)
+	}
+	return nil
+}
+
+// grow doubles the bucket array and rehashes every entry (inside the
+// caller's FASE: growth is atomic with the triggering insert).
+func (ht *HTable) grow(t *atlas.Thread) error {
+	newNB := ht.nb * 2
+	newBuckets, err := ht.heap.AllocLines(8 * newNB)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < newNB; i++ {
+		t.Store64(newBuckets+8*i, 0)
+	}
+	for i := uint64(0); i < ht.nb; i++ {
+		p := t.Load64(ht.buckets + 8*i)
+		for p != 0 {
+			next := t.Load64(p + eNextOff)
+			slot := newBuckets + 8*(hashKey(t.Load64(p+eKeyOff))%newNB)
+			t.Store64(p+eNextOff, t.Load64(slot))
+			t.Store64(slot, p)
+			p = next
+		}
+	}
+	t.Store64(ht.base, newBuckets)
+	t.Store64(ht.base+8, newNB)
+	ht.buckets, ht.nb = newBuckets, newNB
+	return nil
+}
+
+// Get looks a key up.
+func (ht *HTable) Get(t *atlas.Thread, key uint64) (uint64, bool) {
+	slot := ht.buckets + 8*(hashKey(key)%ht.nb)
+	for p := t.Load64(slot); p != 0; p = t.Load64(p + eNextOff) {
+		if t.Load64(p+eKeyOff) == key {
+			return t.Load64(p + eValOff), true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes a key; it reports whether the key existed.
+func (ht *HTable) Delete(t *atlas.Thread, key uint64) bool {
+	slot := ht.buckets + 8*(hashKey(key)%ht.nb)
+	prev := uint64(0)
+	for p := t.Load64(slot); p != 0; p = t.Load64(p + eNextOff) {
+		if t.Load64(p+eKeyOff) == key {
+			t.FASEBegin()
+			next := t.Load64(p + eNextOff)
+			if prev == 0 {
+				t.Store64(slot, next)
+			} else {
+				t.Store64(prev+eNextOff, next)
+			}
+			ht.count--
+			t.Store64(ht.base+16, ht.count)
+			t.FASEEnd()
+			return true
+		}
+		prev = p
+	}
+	return false
+}
+
+// Count returns the persistent element count.
+func (ht *HTable) Count(t *atlas.Thread) uint64 { return t.Load64(ht.base + 16) }
+
+// HTableConfig sizes the hash benchmark.
+type HTableConfig struct {
+	Keys int // paper problem size: 4000
+}
+
+// DefaultHTable matches the paper's problem size.
+func DefaultHTable() HTableConfig { return HTableConfig{Keys: 4000} }
+
+// Scale shrinks the key count by factor s.
+func (c HTableConfig) Scale(s float64) HTableConfig {
+	c.Keys = int(float64(c.Keys) * s)
+	if c.Keys < 8 {
+		c.Keys = 8
+	}
+	return c
+}
+
+// RunHTable inserts Keys keys, re-puts a third of them, deletes a quarter
+// — the insert/update/delete mix of the Atlas repository benchmark.
+func RunHTable(c HTableConfig) (*Result, error) {
+	heap := 64*(2*c.Keys+1024) + 64*8*c.Keys
+	return run(heap, 1, func(rt *atlas.Runtime, ths []*atlas.Thread) error {
+		t := ths[0]
+		ht, err := NewHTable(t, 16)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < c.Keys; i++ {
+			if err := ht.Put(t, uint64(i)*2654435761, uint64(i)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < c.Keys/3; i++ {
+			if err := ht.Put(t, uint64(i)*2654435761, uint64(i)+1); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < c.Keys/4; i++ {
+			ht.Delete(t, uint64(i)*2654435761)
+		}
+		return nil
+	})
+}

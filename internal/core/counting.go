@@ -1,0 +1,100 @@
+package core
+
+import "nvmcache/internal/trace"
+
+// FlushStats aggregates write-back counts: the data of Table III.
+type FlushStats struct {
+	// Async counts mid-FASE flushes (evictions, eager stores), which can
+	// overlap with computation.
+	Async int64
+	// Drained counts FASE-end flushes, which stall the CPU.
+	Drained int64
+	// Barriers counts empty drains (pure waits).
+	Barriers int64
+}
+
+// Total returns all line flushes (excluding pure barriers).
+func (s FlushStats) Total() int64 { return s.Async + s.Drained }
+
+// CountingFlusher counts flushes and nothing else: the flush-ratio
+// instrument behind Table III. It optionally forwards to another Flusher.
+type CountingFlusher struct {
+	stats FlushStats
+	next  Flusher
+}
+
+// NewCountingFlusher returns a flusher that only counts. Pass a non-nil
+// next to also forward every operation (e.g. to a pmem heap).
+func NewCountingFlusher(next Flusher) *CountingFlusher {
+	return &CountingFlusher{next: next}
+}
+
+// FlushAsync implements Flusher.
+func (c *CountingFlusher) FlushAsync(line trace.LineAddr) {
+	c.stats.Async++
+	if c.next != nil {
+		c.next.FlushAsync(line)
+	}
+}
+
+// FlushDrain implements Flusher.
+func (c *CountingFlusher) FlushDrain(lines []trace.LineAddr) {
+	if len(lines) == 0 {
+		c.stats.Barriers++
+	}
+	c.stats.Drained += int64(len(lines))
+	if c.next != nil {
+		c.next.FlushDrain(lines)
+	}
+}
+
+// Stats returns the counts so far.
+func (c *CountingFlusher) Stats() FlushStats { return c.stats }
+
+// Reset zeroes the counters.
+func (c *CountingFlusher) Reset() { c.stats = FlushStats{} }
+
+// RecordingFlusher additionally records the flushed line addresses in
+// order; tests use it to assert exactly which lines were written back.
+type RecordingFlusher struct {
+	CountingFlusher
+	AsyncLines []trace.LineAddr
+	DrainLines []trace.LineAddr
+}
+
+// FlushAsync implements Flusher.
+func (r *RecordingFlusher) FlushAsync(line trace.LineAddr) {
+	r.CountingFlusher.FlushAsync(line)
+	r.AsyncLines = append(r.AsyncLines, line)
+}
+
+// FlushDrain implements Flusher.
+func (r *RecordingFlusher) FlushDrain(lines []trace.LineAddr) {
+	r.CountingFlusher.FlushDrain(lines)
+	r.DrainLines = append(r.DrainLines, lines...)
+}
+
+// AllLines returns every flushed line in a single slice (async first).
+func (r *RecordingFlusher) AllLines() []trace.LineAddr {
+	out := make([]trace.LineAddr, 0, len(r.AsyncLines)+len(r.DrainLines))
+	out = append(out, r.AsyncLines...)
+	out = append(out, r.DrainLines...)
+	return out
+}
+
+// FlushRatio runs a policy kind over a trace with a counting flusher and
+// returns flushes / stores: one cell of Table III. Each thread gets its own
+// policy instance, as in the paper's per-thread design.
+func FlushRatio(kind PolicyKind, cfg Config, t *trace.Trace) float64 {
+	var stores, flushes int64
+	for _, s := range t.Threads {
+		cf := NewCountingFlusher(nil)
+		RunSeq(NewPolicy(kind, cfg, cf), s)
+		stores += int64(s.NumWrites())
+		flushes += cf.Stats().Total()
+	}
+	if stores == 0 {
+		return 0
+	}
+	return float64(flushes) / float64(stores)
+}

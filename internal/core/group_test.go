@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"nvmcache/internal/trace"
+)
+
+// cyclicSeq builds one thread's trace: fases sections, each sweeping a
+// ws-line working set passes times.
+func cyclicSeq(thread int32, ws, passes, fases int) *trace.ThreadSeq {
+	b := trace.NewBuilder(thread)
+	for f := 0; f < fases; f++ {
+		b.Begin()
+		for p := 0; p < passes; p++ {
+			for l := 0; l < ws; l++ {
+				b.Store(trace.LineAddr(l))
+			}
+		}
+		b.End()
+	}
+	return b.Finish()
+}
+
+func TestGroupedAdaptationPropagates(t *testing.T) {
+	const threads, ws = 4, 20
+	cfg := DefaultConfig()
+	cfg.BurstLength = ws * 30
+	flushers := make([]Flusher, threads)
+	counters := make([]*CountingFlusher, threads)
+	for i := range flushers {
+		counters[i] = NewCountingFlusher(nil)
+		flushers[i] = counters[i]
+	}
+	policies := NewGroupedPolicies(cfg, flushers)
+	if len(policies) != threads {
+		t.Fatalf("policies: %d", len(policies))
+	}
+
+	// Many moderate FASEs so followers hit adoption points early.
+	seqs := make([]*trace.ThreadSeq, threads)
+	for i := range seqs {
+		seqs[i] = cyclicSeq(int32(i), ws, 30, 40)
+	}
+
+	// The leader finishes first (deterministic publication); the followers
+	// then run concurrently with each other, adopting the published size
+	// at their FASE boundaries.
+	RunSeq(policies[0], seqs[0])
+	var wg sync.WaitGroup
+	for i := 1; i < len(policies); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			RunSeq(policies[i], seqs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	leader := policies[0].(SizeReporter).AdaptReport()
+	if !leader.Adapted || leader.ChosenSize < ws || leader.ChosenSize > 50 {
+		t.Fatalf("leader report %+v", leader)
+	}
+	if leader.AnalyzedWrites == 0 {
+		t.Fatal("leader did no analysis")
+	}
+	for i := 1; i < threads; i++ {
+		rep := policies[i].(SizeReporter).AdaptReport()
+		if rep.AnalyzedWrites != 0 {
+			t.Errorf("follower %d analyzed %d writes; grouping should cost one analysis", i, rep.AnalyzedWrites)
+		}
+		// Followers adopt the size at the first FASE boundary after the
+		// leader publishes; from then on they combine within FASEs, so
+		// their flush counts must land well below thrashing (1 per store)
+		// even counting the pre-adoption prefix.
+		stores := int64(seqs[i].NumWrites())
+		if fl := counters[i].Stats().Total(); fl > stores/2 {
+			t.Errorf("follower %d flushed %d of %d stores", i, fl, stores)
+		}
+		if rep.ChosenSize < ws {
+			t.Errorf("follower %d never adopted the group size (capacity %d)", i, rep.ChosenSize)
+		}
+	}
+}
+
+func TestGroupedFollowerAdoptsAtFASEBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BurstLength = 64
+	lead := NewCountingFlusher(nil)
+	foll := &RecordingFlusher{}
+	policies := NewGroupedPolicies(cfg, []Flusher{lead, foll})
+
+	// Leader runs first (sequential here): samples a 20-line working set
+	// and publishes its choice.
+	RunSeq(policies[0], cyclicSeq(0, 20, 50, 1))
+	leaderRep := policies[0].(SizeReporter).AdaptReport()
+	if !leaderRep.Adapted {
+		t.Fatal("leader did not adapt")
+	}
+
+	// Follower with many small FASEs: before its first FASE it still has
+	// the default capacity; at FASEBegin it must adopt the group size.
+	f := policies[1].(*groupFollowerPolicy)
+	if f.cache.Capacity() != 8 {
+		t.Fatalf("follower capacity %d before any FASE", f.cache.Capacity())
+	}
+	f.FASEBegin()
+	if f.cache.Capacity() != leaderRep.ChosenSize {
+		t.Fatalf("follower capacity %d, want leader's %d", f.cache.Capacity(), leaderRep.ChosenSize)
+	}
+	rep := f.AdaptReport()
+	if !rep.Adapted || rep.ChosenSize != leaderRep.ChosenSize {
+		t.Fatalf("follower report %+v", rep)
+	}
+}
+
+func TestGroupedShrinkFlushesEvictions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Knee.DefaultSize = 10
+	rf := &RecordingFlusher{}
+	policies := NewGroupedPolicies(cfg, []Flusher{NewCountingFlusher(nil), rf})
+	f := policies[1].(*groupFollowerPolicy)
+	f.FASEBegin()
+	for l := trace.LineAddr(0); l < 10; l++ {
+		f.Store(l)
+	}
+	// Simulate the leader publishing a smaller size mid-run.
+	f.group.publish(3, AdaptReport{})
+	f.FASEEnd() // drain
+	f.FASEBegin()
+	if f.cache.Capacity() != 3 {
+		t.Fatalf("capacity %d after shrink", f.cache.Capacity())
+	}
+	for l := trace.LineAddr(0); l < 10; l++ {
+		f.Store(l)
+	}
+	f.FASEEnd()
+	f.Finish()
+	// 10 lines through a 3-entry cache: evictions must have been flushed
+	// asynchronously and the rest drained — completeness preserved.
+	seen := map[trace.LineAddr]bool{}
+	for _, l := range rf.AllLines() {
+		seen[l] = true
+	}
+	for l := trace.LineAddr(0); l < 10; l++ {
+		if !seen[l] {
+			t.Fatalf("line %d never flushed after shrink", l)
+		}
+	}
+}

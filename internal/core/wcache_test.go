@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nvmcache/internal/trace"
+)
+
+func TestWriteCacheHitMissEvict(t *testing.T) {
+	c := NewWriteCache(2)
+	hit, _, ev := c.Access(1)
+	if hit || ev {
+		t.Fatalf("first access: hit=%v ev=%v", hit, ev)
+	}
+	hit, _, ev = c.Access(2)
+	if hit || ev {
+		t.Fatalf("second access: hit=%v ev=%v", hit, ev)
+	}
+	hit, _, _ = c.Access(1)
+	if !hit {
+		t.Fatal("reaccess of buffered line missed")
+	}
+	// 1 is now MRU; inserting 3 must evict 2 (LRU).
+	hit, evicted, ev := c.Access(3)
+	if hit || !ev || evicted != 2 {
+		t.Fatalf("expected eviction of 2, got hit=%v evicted=%v has=%v", hit, evicted, ev)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestWriteCacheFigure1Scenario(t *testing.T) {
+	// Figure 1: cache of two blocks holding {0x500, 0x400} with 0x500 more
+	// recent; accessing 0x600 evicts 0x400.
+	c := NewWriteCache(2)
+	c.Access(0x400)
+	c.Access(0x500)
+	_, evicted, has := c.Access(0x600)
+	if !has || evicted != 0x400 {
+		t.Fatalf("evicted %v (has=%v), want 0x400", evicted, has)
+	}
+}
+
+func TestWriteCacheDrainOrder(t *testing.T) {
+	c := NewWriteCache(4)
+	for _, l := range []trace.LineAddr{10, 20, 30} {
+		c.Access(l)
+	}
+	c.Access(10) // 10 becomes MRU
+	got := c.Drain()
+	want := []trace.LineAddr{20, 30, 10} // LRU first
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Drain = %v, want %v", got, want)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache not empty after drain")
+	}
+	if got := c.Drain(); got != nil {
+		t.Errorf("second drain = %v", got)
+	}
+}
+
+func TestWriteCacheResizeShrinkEvictsLRU(t *testing.T) {
+	c := NewWriteCache(4)
+	for _, l := range []trace.LineAddr{1, 2, 3, 4} {
+		c.Access(l)
+	}
+	evicted := c.Resize(2)
+	want := []trace.LineAddr{1, 2}
+	if !reflect.DeepEqual(evicted, want) {
+		t.Fatalf("Resize evicted %v, want %v", evicted, want)
+	}
+	if c.Capacity() != 2 || c.Len() != 2 {
+		t.Errorf("capacity %d len %d", c.Capacity(), c.Len())
+	}
+	if !c.Contains(3) || !c.Contains(4) {
+		t.Errorf("wrong survivors: %v", c.Lines())
+	}
+}
+
+func TestWriteCacheResizeGrow(t *testing.T) {
+	c := NewWriteCache(1)
+	c.Access(1)
+	if ev := c.Resize(3); ev != nil {
+		t.Fatalf("grow evicted %v", ev)
+	}
+	c.Access(2)
+	if _, _, has := c.Access(3); has {
+		t.Fatal("eviction before reaching new capacity")
+	}
+}
+
+func TestWriteCacheCapacityClamp(t *testing.T) {
+	c := NewWriteCache(0)
+	if c.Capacity() != 1 {
+		t.Errorf("capacity %d, want clamp to 1", c.Capacity())
+	}
+	c.Resize(-5)
+	if c.Capacity() != 1 {
+		t.Errorf("resize clamp failed: %d", c.Capacity())
+	}
+}
+
+func TestWriteCacheClear(t *testing.T) {
+	c := NewWriteCache(3)
+	c.Access(1)
+	c.Access(2)
+	c.Clear()
+	if c.Len() != 0 || c.Contains(1) {
+		t.Fatal("Clear left entries")
+	}
+	// Freelist reuse must not corrupt state.
+	c.Access(5)
+	c.Access(6)
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// modelLRU is a trivially correct reference: a slice ordered MRU-first.
+type modelLRU struct {
+	cap   int
+	lines []trace.LineAddr
+}
+
+func (m *modelLRU) access(l trace.LineAddr) (hit bool, evicted trace.LineAddr, has bool) {
+	for i, x := range m.lines {
+		if x == l {
+			copy(m.lines[1:i+1], m.lines[:i])
+			m.lines[0] = l
+			return true, 0, false
+		}
+	}
+	if len(m.lines) == m.cap {
+		evicted = m.lines[len(m.lines)-1]
+		m.lines = m.lines[:len(m.lines)-1]
+		has = true
+	}
+	m.lines = append([]trace.LineAddr{l}, m.lines...)
+	return false, evicted, has
+}
+
+// Property: the O(1) cache behaves exactly like the reference LRU under
+// random access/resize/drain sequences, and its internal invariants hold.
+func TestQuickWriteCacheMatchesModel(t *testing.T) {
+	f := func(seed int64, cap8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + int(cap8)%12
+		c := NewWriteCache(capacity)
+		m := &modelLRU{cap: capacity}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(10) {
+			case 8: // resize
+				newCap := 1 + rng.Intn(12)
+				got := c.Resize(newCap)
+				var want []trace.LineAddr
+				for len(m.lines) > newCap {
+					want = append(want, m.lines[len(m.lines)-1])
+					m.lines = m.lines[:len(m.lines)-1]
+				}
+				m.cap = newCap
+				if !reflect.DeepEqual(got, want) {
+					return false
+				}
+			case 9: // drain
+				got := c.Drain()
+				var want []trace.LineAddr
+				for i := len(m.lines) - 1; i >= 0; i-- {
+					want = append(want, m.lines[i])
+				}
+				m.lines = nil
+				if !reflect.DeepEqual(got, want) {
+					return false
+				}
+			default:
+				l := trace.LineAddr(rng.Intn(20))
+				hit, ev, has := c.Access(l)
+				whit, wev, whas := m.access(l)
+				if hit != whit || has != whas || (has && ev != wev) {
+					return false
+				}
+			}
+			if err := c.checkInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stack inclusion: hit count is monotonically non-decreasing in capacity
+// (DESIGN.md invariant 3).
+func TestQuickStackInclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(400)
+		seq := make([]trace.LineAddr, n)
+		for i := range seq {
+			seq[i] = trace.LineAddr(rng.Intn(25))
+		}
+		prevHits := -1
+		for capacity := 1; capacity <= 30; capacity += 3 {
+			c := NewWriteCache(capacity)
+			hits := 0
+			for _, l := range seq {
+				if h, _, _ := c.Access(l); h {
+					hits++
+				}
+			}
+			if hits < prevHits {
+				return false
+			}
+			prevHits = hits
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteCacheAccess(b *testing.B) {
+	c := NewWriteCache(50)
+	rng := rand.New(rand.NewSource(1))
+	lines := make([]trace.LineAddr, 4096)
+	for i := range lines {
+		lines[i] = trace.LineAddr(rng.Intn(64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(lines[i%len(lines)])
+	}
+}

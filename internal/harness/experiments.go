@@ -1,0 +1,663 @@
+package harness
+
+import (
+	"fmt"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/locality"
+	"nvmcache/internal/sampling"
+	"nvmcache/internal/trace"
+)
+
+// This file reproduces every table and figure of the paper's evaluation.
+// Each experiment returns a typed result holding the measured numbers (for
+// tests and EXPERIMENTS.md) and renders to a Table (for cmd/nvbench).
+
+// ---------------------------------------------------------------- Table I
+
+// EagerSlowdownResult reproduces Table I: the cost of eager persistence on
+// the SPLASH2 programs, measured as cycles(ER)/cycles(BEST).
+type EagerSlowdownResult struct {
+	Programs  []string
+	Slowdown  []float64
+	PaperVals []float64
+	Average   float64
+}
+
+// EagerSlowdown runs Table I.
+func EagerSlowdown(opt RunOptions) (*EagerSlowdownResult, error) {
+	res := &EagerSlowdownResult{}
+	var sum float64
+	for _, w := range SplashWorkloads(Workloads()) {
+		er, err := Run(w, core.Eager, opt)
+		if err != nil {
+			return nil, err
+		}
+		best, err := Run(w, core.Best, opt)
+		if err != nil {
+			return nil, err
+		}
+		s := er.Cycles / best.Cycles
+		res.Programs = append(res.Programs, w.Name)
+		res.Slowdown = append(res.Slowdown, s)
+		paper := 0.0
+		for _, p := range splashPaperSlowdowns() {
+			if p.name == w.Name {
+				paper = p.slowdown
+			}
+		}
+		res.PaperVals = append(res.PaperVals, paper)
+		sum += s
+	}
+	res.Average = sum / float64(len(res.Programs))
+	return res, nil
+}
+
+type paperSlowdown struct {
+	name     string
+	slowdown float64
+}
+
+func splashPaperSlowdowns() []paperSlowdown {
+	return []paperSlowdown{
+		{"barnes", 22}, {"fmm", 24}, {"ocean", 17}, {"raytrace", 6},
+		{"volrend", 26}, {"water-nsquared", 24}, {"water-spatial", 33},
+	}
+}
+
+// Table renders Table I.
+func (r *EagerSlowdownResult) Table() *Table {
+	t := &Table{
+		Title:   "Table I: cost of eager data persistence (slowdown vs BEST)",
+		Headers: []string{"Program", "Slowdown", "Paper"},
+	}
+	for i, p := range r.Programs {
+		t.AddRow(p, fx(r.Slowdown[i]), fx(r.PaperVals[i]))
+	}
+	t.AddRow("average", fx(r.Average), "22.00x")
+	return t
+}
+
+// --------------------------------------------------------------- Figure 2
+
+// MRCResult reproduces Figure 2: the miss ratio curve of one program with
+// its knees and the selected capacity.
+type MRCResult struct {
+	Program string
+	Miss    []float64 // index = capacity
+	Knees   []int
+	Chosen  int
+}
+
+// MRCOf computes the offline (full-trace) MRC of a workload's first
+// thread.
+func MRCOf(name string, opt RunOptions) (*MRCResult, error) {
+	w, err := WorkloadByName(Workloads(), name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := w.Trace(opt.Scale, 1, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := locality.DefaultKneeConfig()
+	renamed := trace.RenameFASEs(tr.Threads[0])
+	mrc := locality.MRCFromReuse(locality.ReuseAll(renamed), cfg.MaxSize)
+	return &MRCResult{
+		Program: name,
+		Miss:    mrc.Miss,
+		Knees:   locality.Knees(mrc, cfg),
+		Chosen:  locality.SelectSize(mrc, cfg),
+	}, nil
+}
+
+// Table renders the curve.
+func (r *MRCResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 2: MRC of %s (knees %v, chosen size %d)", r.Program, r.Knees, r.Chosen),
+		Headers: []string{"Capacity", "MissRatio"},
+	}
+	for c, mr := range r.Miss {
+		t.AddRow(fmt.Sprintf("%d", c), f5(mr))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Table II
+
+// MDBResult reproduces Table II: Mtest on MDB under five techniques.
+type MDBResult struct {
+	Policies []core.PolicyKind
+	Cycles   []float64
+	Speedup  []float64 // over ER
+	PaperUp  []float64
+}
+
+// MDBTable2 runs Table II (the paper uses eight threads).
+func MDBTable2(opt RunOptions) (*MDBResult, error) {
+	if opt.Threads == 1 {
+		opt.Threads = 8
+	}
+	w, err := WorkloadByName(Workloads(), "mdb")
+	if err != nil {
+		return nil, err
+	}
+	kinds := []core.PolicyKind{core.Eager, core.AtlasTable, core.SoftCacheOnline, core.SoftCacheOffline, core.Best}
+	paper := []float64{1, 2.94, 5.07, 5.60, 6.94}
+	res := &MDBResult{Policies: kinds, PaperUp: paper}
+	var erCycles float64
+	for _, k := range kinds {
+		r, err := Run(w, k, opt)
+		if err != nil {
+			return nil, err
+		}
+		if k == core.Eager {
+			erCycles = r.Cycles
+		}
+		res.Cycles = append(res.Cycles, r.Cycles)
+	}
+	for _, c := range res.Cycles {
+		res.Speedup = append(res.Speedup, erCycles/c)
+	}
+	return res, nil
+}
+
+// Table renders Table II.
+func (r *MDBResult) Table() *Table {
+	t := &Table{
+		Title:   "Table II: execution of Mtest on MDB (simulated cycles)",
+		Headers: []string{"Method", "Cycles", "Speedup", "Paper"},
+	}
+	for i, k := range r.Policies {
+		t.AddRow(k.String(), fmt.Sprintf("%.3g", r.Cycles[i]), fx(r.Speedup[i]), fx(r.PaperUp[i]))
+	}
+	return t
+}
+
+// --------------------------------------------------------------- Table III
+
+// FlushRow is one workload's Table III row.
+type FlushRow struct {
+	Name                      string
+	ProblemSize               string
+	FASEs                     int64
+	Stores                    int64
+	ER, LA, AT, SC            float64
+	ATOverSC                  float64
+	SCOverLA                  float64
+	PaperLA, PaperAT, PaperSC float64
+}
+
+// FlushRatiosResult reproduces Table III.
+type FlushRatiosResult struct {
+	Rows []FlushRow
+	// AvgATOverSC excludes persistent-array, linked-list and queue, as the
+	// paper's caption specifies; this is the headline "12×".
+	AvgATOverSC float64
+	AvgSCOverLA float64
+}
+
+// FlushRatiosTable3 runs Table III over all twelve workloads.
+func FlushRatiosTable3(opt RunOptions) (*FlushRatiosResult, error) {
+	res := &FlushRatiosResult{}
+	var sumAT, sumLA float64
+	var n int
+	for _, w := range Workloads() {
+		tr, err := w.Trace(opt.Scale, opt.Threads, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		st := trace.ComputeStats(tr)
+		cfg := core.DefaultConfig()
+		cfg.BurstLength = BurstFor(st.TotalWrites / int64(st.Threads))
+		row := FlushRow{
+			Name:        w.Name,
+			ProblemSize: w.ProblemSize,
+			FASEs:       st.TotalFASEs,
+			Stores:      st.TotalWrites,
+			ER:          core.FlushRatio(core.Eager, cfg, tr),
+			LA:          core.FlushRatio(core.Lazy, cfg, tr),
+			AT:          core.FlushRatio(core.AtlasTable, cfg, tr),
+			PaperLA:     w.PaperLA, PaperAT: w.PaperAT, PaperSC: w.PaperSC,
+		}
+		// Table III's caption: "The number of flushes is almost identical
+		// for SC and SC-offline, which is shown by SC" — the column uses
+		// the offline-sized cache, free of the scaled-down runs' larger
+		// relative sampling transient.
+		size, err := OfflineSize(w, opt)
+		if err != nil {
+			return nil, err
+		}
+		scCfg := cfg
+		scCfg.PresetSize = size
+		row.SC = core.FlushRatio(core.SoftCacheOffline, scCfg, tr)
+		if row.SC > 0 {
+			row.ATOverSC = row.AT / row.SC
+		}
+		if row.LA > 0 {
+			row.SCOverLA = row.SC / row.LA
+		}
+		res.Rows = append(res.Rows, row)
+		switch w.Name {
+		case "persistent-array", "linked-list", "queue":
+			// excluded from the paper's averages
+		default:
+			sumAT += row.ATOverSC
+			sumLA += row.SCOverLA
+			n++
+		}
+	}
+	if n > 0 {
+		res.AvgATOverSC = sumAT / float64(n)
+		res.AvgSCOverLA = sumLA / float64(n)
+	}
+	return res, nil
+}
+
+// Table renders Table III.
+func (r *FlushRatiosResult) Table() *Table {
+	t := &Table{
+		Title: "Table III: data flush ratios",
+		Headers: []string{"Benchmark", "Size", "FASEs", "Stores",
+			"ER", "LA", "AT", "SC", "AT/SC", "SC/LA", "paperAT", "paperSC"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.ProblemSize,
+			fmt.Sprintf("%d", row.FASEs), fmt.Sprintf("%d", row.Stores),
+			f5(row.ER), f5(row.LA), f5(row.AT), f5(row.SC),
+			fx(row.ATOverSC), fx(row.SCOverLA), f5(row.PaperAT), f5(row.PaperSC))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("average AT/SC %.2fx (paper 11.88x), SC/LA %.2fx (paper 1.43x); averages exclude persistent-array, linked-list and queue per the paper's caption",
+			r.AvgATOverSC, r.AvgSCOverLA))
+	return t
+}
+
+// --------------------------------------------------------------- Figure 4
+
+// SpeedupRow is one workload's Figure 4 bars: speedups over ER.
+type SpeedupRow struct {
+	Name                    string
+	AT, SC, SCOffline, Best float64
+}
+
+// SpeedupsResult reproduces Figure 4.
+type SpeedupsResult struct {
+	Rows                                []SpeedupRow
+	AvgAT, AvgSC, AvgSCOffline, AvgBest float64
+}
+
+// SpeedupsFigure4 runs every workload single-threaded (mdb with eight
+// threads, as in the paper).
+func SpeedupsFigure4(opt RunOptions) (*SpeedupsResult, error) {
+	res := &SpeedupsResult{}
+	kinds := []core.PolicyKind{core.Eager, core.AtlasTable, core.SoftCacheOnline, core.SoftCacheOffline, core.Best}
+	for _, w := range Workloads() {
+		o := opt
+		if w.Name == "mdb" {
+			o.Threads = 8
+		}
+		runs, err := RunAll(w, kinds, o)
+		if err != nil {
+			return nil, err
+		}
+		er := runs[core.Eager].Cycles
+		row := SpeedupRow{
+			Name:      w.Name,
+			AT:        er / runs[core.AtlasTable].Cycles,
+			SC:        er / runs[core.SoftCacheOnline].Cycles,
+			SCOffline: er / runs[core.SoftCacheOffline].Cycles,
+			Best:      er / runs[core.Best].Cycles,
+		}
+		res.Rows = append(res.Rows, row)
+		res.AvgAT += row.AT
+		res.AvgSC += row.SC
+		res.AvgSCOffline += row.SCOffline
+		res.AvgBest += row.Best
+	}
+	n := float64(len(res.Rows))
+	res.AvgAT /= n
+	res.AvgSC /= n
+	res.AvgSCOffline /= n
+	res.AvgBest /= n
+	return res, nil
+}
+
+// Table renders Figure 4.
+func (r *SpeedupsResult) Table() *Table {
+	t := &Table{
+		Title:   "Figure 4: speedups over ER (paper averages: AT 4.5x, SC 9.6x, SC-offline 10.3x, BEST 16.1x)",
+		Headers: []string{"Program", "AT", "SC", "SC-offline", "BEST"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, fx(row.AT), fx(row.SC), fx(row.SCOffline), fx(row.Best))
+	}
+	t.AddRow("average", fx(r.AvgAT), fx(r.AvgSC), fx(r.AvgSCOffline), fx(r.AvgBest))
+	return t
+}
+
+// ------------------------------------------------------- Figures 5 and 6
+
+// ThreadSweepThreads is the paper's thread axis.
+var ThreadSweepThreads = []int{1, 2, 4, 8, 16, 32}
+
+// ParallelRow is one (program, threads) cell of Figures 5 and 6.
+type ParallelRow struct {
+	Name             string
+	Threads          int
+	SCOverAT         float64 // Figure 5
+	SCOfflineOverAT  float64 // Figure 5
+	SCSlowdownVsBest float64 // Figure 6
+}
+
+// ParallelResult reproduces Figures 5 and 6 in one sweep.
+type ParallelResult struct {
+	Rows []ParallelRow
+	// FracSCBeatsAT is the share of (program, threads) cells where SC
+	// outperforms AT; the paper reports 36/42 ≈ 85%.
+	FracSCBeatsAT        float64
+	FracSCOfflineBeatsAT float64
+}
+
+// ParallelFigures56 runs the SPLASH2 programs over the thread sweep.
+func ParallelFigures56(opt RunOptions, threadCounts []int) (*ParallelResult, error) {
+	if len(threadCounts) == 0 {
+		threadCounts = ThreadSweepThreads
+	}
+	res := &ParallelResult{}
+	var beats, beatsOff, cells int
+	kinds := []core.PolicyKind{core.AtlasTable, core.SoftCacheOnline, core.SoftCacheOffline, core.Best}
+	for _, w := range SplashWorkloads(Workloads()) {
+		for _, th := range threadCounts {
+			o := opt
+			o.Threads = th
+			runs, err := RunAll(w, kinds, o)
+			if err != nil {
+				return nil, err
+			}
+			row := ParallelRow{
+				Name:             w.Name,
+				Threads:          th,
+				SCOverAT:         runs[core.AtlasTable].Cycles / runs[core.SoftCacheOnline].Cycles,
+				SCOfflineOverAT:  runs[core.AtlasTable].Cycles / runs[core.SoftCacheOffline].Cycles,
+				SCSlowdownVsBest: runs[core.SoftCacheOnline].Cycles / runs[core.Best].Cycles,
+			}
+			res.Rows = append(res.Rows, row)
+			cells++
+			if row.SCOverAT > 1 {
+				beats++
+			}
+			if row.SCOfflineOverAT > 1 {
+				beatsOff++
+			}
+		}
+	}
+	res.FracSCBeatsAT = float64(beats) / float64(cells)
+	res.FracSCOfflineBeatsAT = float64(beatsOff) / float64(cells)
+	return res, nil
+}
+
+// Figure5Table renders the speedups over AT.
+func (r *ParallelResult) Figure5Table() *Table {
+	t := &Table{
+		Title:   "Figure 5: parallel speedup of SC and SC-offline over AT",
+		Headers: []string{"Program", "Threads", "SC/AT", "SC-off/AT"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, fmt.Sprintf("%d", row.Threads), fx(row.SCOverAT), fx(row.SCOfflineOverAT))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("SC beats AT in %.0f%% of cells (paper: 85%%); SC-offline in %.0f%% (paper: 90%%)",
+		100*r.FracSCBeatsAT, 100*r.FracSCOfflineBeatsAT))
+	return t
+}
+
+// Figure6Table renders the slowdown of SC over BEST.
+func (r *ParallelResult) Figure6Table() *Table {
+	t := &Table{
+		Title:   "Figure 6: slowdown of SC over BEST",
+		Headers: []string{"Program", "Threads", "SC/BEST"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, fmt.Sprintf("%d", row.Threads), fx(row.SCSlowdownVsBest))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Table IV
+
+// WaterSpatialCell is one (policy, threads) cell of Table IV.
+type WaterSpatialCell struct {
+	Policy       core.PolicyKind
+	Threads      int
+	Instructions float64
+	FlushRatio   float64
+	L1MissRatio  float64
+}
+
+// WaterSpatialResult reproduces Table IV.
+type WaterSpatialResult struct {
+	Cells []WaterSpatialCell
+}
+
+// WaterSpatialTable4 sweeps water-spatial with the L1 simulator.
+func WaterSpatialTable4(opt RunOptions, threadCounts []int) (*WaterSpatialResult, error) {
+	if len(threadCounts) == 0 {
+		threadCounts = ThreadSweepThreads
+	}
+	w, err := WorkloadByName(Workloads(), "water-spatial")
+	if err != nil {
+		return nil, err
+	}
+	res := &WaterSpatialResult{}
+	for _, kind := range []core.PolicyKind{core.AtlasTable, core.SoftCacheOnline, core.Best} {
+		for _, th := range threadCounts {
+			o := opt
+			o.Threads = th
+			o.MeasureL1 = true
+			r, err := Run(w, kind, o)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, WaterSpatialCell{
+				Policy:       kind,
+				Threads:      th,
+				Instructions: r.Instructions,
+				FlushRatio:   r.FlushRatio,
+				L1MissRatio:  r.L1MissRatio,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders Table IV.
+func (r *WaterSpatialResult) Table() *Table {
+	t := &Table{
+		Title:   "Table IV: water-spatial detail (instructions, flush ratio, L1 miss ratio)",
+		Headers: []string{"Metric", "Policy", "Threads", "Value"},
+	}
+	for _, c := range r.Cells {
+		th := fmt.Sprintf("%d", c.Threads)
+		t.AddRow("instructions", c.Policy.String(), th, fmt.Sprintf("%.3g", c.Instructions))
+		t.AddRow("flush-ratio", c.Policy.String(), th, pc(c.FlushRatio))
+		t.AddRow("l1-miss-ratio", c.Policy.String(), th, pc(c.L1MissRatio))
+	}
+	t.Notes = append(t.Notes,
+		"paper trends: AT flush 2.6->5.9%, SC flush 0.43->1.0%, BEST 0; L1 mr rises with threads for all, AT > SC > BEST")
+	return t
+}
+
+// --------------------------------------------------------------- Figure 7
+
+// MRCAccuracyResult reproduces Figure 7: actual vs full-trace vs sampled
+// MRC for one program.
+type MRCAccuracyResult struct {
+	Program                                 string
+	Actual                                  []float64 // exact LRU simulation (stack distances)
+	Full                                    []float64 // linear-time reuse conversion, whole trace
+	Sampled                                 []float64 // linear-time reuse conversion, one burst
+	ChosenActual, ChosenFull, ChosenSampled int
+}
+
+// Figure7Programs lists the four programs of the paper's Figure 7.
+var Figure7Programs = []string{"barnes", "ocean", "water-nsquared", "water-spatial"}
+
+// MRCAccuracyFigure7 computes the three curves for one program.
+func MRCAccuracyFigure7(name string, opt RunOptions) (*MRCAccuracyResult, error) {
+	w, err := WorkloadByName(Workloads(), name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := w.Trace(opt.Scale, 1, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := locality.DefaultKneeConfig()
+	renamed := trace.RenameFASEs(tr.Threads[0])
+	actual := locality.StackDistanceMRC(renamed, cfg.MaxSize)
+	full := locality.MRCFromReuse(locality.ReuseAll(renamed), cfg.MaxSize)
+
+	// Sampled: replay the store stream through the bursty sampler exactly
+	// as the online policy does.
+	s := tr.Threads[0]
+	smp := sampling.New(sampling.DefaultConfig(BurstFor(int64(s.NumWrites()))))
+	for i := 0; i < s.NumFASEs() && smp.Collecting(); i++ {
+		for _, line := range s.FASE(i) {
+			if done := smp.RecordStore(line); done {
+				break
+			}
+		}
+		smp.FASEEnd()
+	}
+	sampled := locality.MRCFromReuse(locality.ReuseAll(smp.Burst()), cfg.MaxSize)
+
+	return &MRCAccuracyResult{
+		Program:       name,
+		Actual:        actual.Miss,
+		Full:          full.Miss,
+		Sampled:       sampled.Miss,
+		ChosenActual:  locality.SelectSize(actual, cfg),
+		ChosenFull:    locality.SelectSize(full, cfg),
+		ChosenSampled: locality.SelectSize(sampled, cfg),
+	}, nil
+}
+
+// Table renders Figure 7 for one program.
+func (r *MRCAccuracyResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 7: MRC accuracy for %s (chosen: actual %d, full %d, sampled %d)",
+			r.Program, r.ChosenActual, r.ChosenFull, r.ChosenSampled),
+		Headers: []string{"Capacity", "Actual", "FullTrace", "Sampled"},
+	}
+	for c := range r.Actual {
+		t.AddRow(fmt.Sprintf("%d", c), f5(r.Actual[c]), f5(r.Full[c]), f5(r.Sampled[c]))
+	}
+	return t
+}
+
+// --------------------------------------------------------------- Figure 8
+
+// OnlineOverheadRow is one program's Figure 8 bar.
+type OnlineOverheadRow struct {
+	Name     string
+	Threads  int
+	Overhead float64 // (cycles(SC) - cycles(SC, preset best size)) / cycles(SC)
+}
+
+// OnlineOverheadResult reproduces Figure 8.
+type OnlineOverheadResult struct {
+	Rows    []OnlineOverheadRow
+	Average float64
+}
+
+// OnlineOverheadFigure8 measures the cost of online cache-size selection:
+// the difference between starting at the default size and sampling versus
+// running with the best size preset from the start.
+func OnlineOverheadFigure8(opt RunOptions, threadCounts []int) (*OnlineOverheadResult, error) {
+	if len(threadCounts) == 0 {
+		threadCounts = []int{1, 8}
+	}
+	res := &OnlineOverheadResult{}
+	var sum float64
+	for _, w := range SplashWorkloads(Workloads()) {
+		best, err := OfflineSize(w, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, th := range threadCounts {
+			o := opt
+			o.Threads = th
+			online, err := Run(w, core.SoftCacheOnline, o)
+			if err != nil {
+				return nil, err
+			}
+			o.PresetSize = best
+			preset, err := Run(w, core.SoftCacheOffline, o)
+			if err != nil {
+				return nil, err
+			}
+			ov := (online.Cycles - preset.Cycles) / online.Cycles
+			if ov < 0 {
+				ov = 0
+			}
+			res.Rows = append(res.Rows, OnlineOverheadRow{Name: w.Name, Threads: th, Overhead: ov})
+			sum += ov
+		}
+	}
+	res.Average = sum / float64(len(res.Rows))
+	return res, nil
+}
+
+// Table renders Figure 8.
+func (r *OnlineOverheadResult) Table() *Table {
+	t := &Table{
+		Title:   "Figure 8: online cache-selection overhead (paper average 6.78%)",
+		Headers: []string{"Program", "Threads", "Overhead"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, fmt.Sprintf("%d", row.Threads), pc(row.Overhead))
+	}
+	t.AddRow("average", "-", pc(r.Average))
+	return t
+}
+
+// ------------------------------------------------------- Section IV-G sizes
+
+// SelectedSizesResult reproduces the Section IV-G list of per-program
+// selected cache sizes.
+type SelectedSizesResult struct {
+	Names  []string
+	Chosen []int
+	Paper  []int
+}
+
+// SelectedSizes computes the offline selection for the eight programs the
+// paper lists (seven SPLASH2 + mdb).
+func SelectedSizes(opt RunOptions) (*SelectedSizesResult, error) {
+	res := &SelectedSizesResult{}
+	for _, w := range Workloads() {
+		if w.PaperChosen == 0 {
+			continue
+		}
+		size, err := OfflineSize(w, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Names = append(res.Names, w.Name)
+		res.Chosen = append(res.Chosen, size)
+		res.Paper = append(res.Paper, w.PaperChosen)
+	}
+	return res, nil
+}
+
+// Table renders the size list.
+func (r *SelectedSizesResult) Table() *Table {
+	t := &Table{
+		Title:   "Section IV-G: selected cache sizes",
+		Headers: []string{"Program", "Chosen", "Paper"},
+	}
+	for i := range r.Names {
+		t.AddRow(r.Names[i], fmt.Sprintf("%d", r.Chosen[i]), fmt.Sprintf("%d", r.Paper[i]))
+	}
+	return t
+}

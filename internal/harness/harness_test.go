@@ -1,0 +1,348 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nvmcache/internal/core"
+)
+
+// Most shape tests run at 1/1024 scale to stay fast; the calibration tests
+// in internal/splash pin the exact Table III numbers at the default scale.
+func testOpt() RunOptions {
+	opt := DefaultRunOptions()
+	opt.Scale = 1.0 / 1024
+	return opt
+}
+
+func TestWorkloadsRoster(t *testing.T) {
+	list := Workloads()
+	if len(list) != 12 {
+		t.Fatalf("got %d workloads, want the paper's 12", len(list))
+	}
+	want := []string{"linked-list", "persistent-array", "queue", "hash",
+		"barnes", "fmm", "ocean", "raytrace", "volrend",
+		"water-nsquared", "water-spatial", "mdb"}
+	for i, w := range list {
+		if w.Name != want[i] {
+			t.Errorf("workload %d = %s, want %s (Table III order)", i, w.Name, want[i])
+		}
+	}
+	if len(SplashWorkloads(list)) != 7 {
+		t.Errorf("SplashWorkloads: %d", len(SplashWorkloads(list)))
+	}
+	if _, err := WorkloadByName(list, "nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestTraceCachedAndDeterministic(t *testing.T) {
+	w, err := WorkloadByName(Workloads(), "barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.Trace(1.0/2048, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Trace(1.0/2048, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("trace not memoized")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	opt := testOpt()
+	w, _ := WorkloadByName(Workloads(), "water-spatial")
+	er, err := Run(w, core.Eager, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.FlushRatio != 1 {
+		t.Errorf("ER flush ratio %v", er.FlushRatio)
+	}
+	best, err := Run(w, core.Best, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Flushes != 0 {
+		t.Errorf("BEST flushed %d", best.Flushes)
+	}
+	if er.Cycles <= best.Cycles {
+		t.Errorf("ER (%v) not slower than BEST (%v)", er.Cycles, best.Cycles)
+	}
+	if er.Stores != best.Stores {
+		t.Errorf("store counts differ: %d vs %d", er.Stores, best.Stores)
+	}
+}
+
+func TestRunMeasuresL1(t *testing.T) {
+	opt := testOpt()
+	opt.MeasureL1 = true
+	w, _ := WorkloadByName(Workloads(), "water-spatial")
+	at, err := Run(w, core.AtlasTable, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Run(w, core.Best, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.L1MissRatio <= best.L1MissRatio {
+		t.Errorf("AT L1 mr (%v) not above BEST (%v): clflush invalidations missing",
+			at.L1MissRatio, best.L1MissRatio)
+	}
+}
+
+func TestEagerSlowdownShapeAgainstTableI(t *testing.T) {
+	res, err := EagerSlowdown(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Programs) != 7 {
+		t.Fatalf("programs: %v", res.Programs)
+	}
+	for i, p := range res.Programs {
+		got, paper := res.Slowdown[i], res.PaperVals[i]
+		if math.Abs(got-paper)/paper > 0.4 {
+			t.Errorf("%s: slowdown %.1fx, paper %.0fx", p, got, paper)
+		}
+	}
+	if res.Average < 14 || res.Average > 30 {
+		t.Errorf("average slowdown %.1fx, paper 22x", res.Average)
+	}
+	if !strings.Contains(res.Table().String(), "barnes") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFigure2WaterSpatialKnee(t *testing.T) {
+	opt := DefaultRunOptions() // knee positions need the calibrated scale
+	r, err := MRCOf("water-spatial", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chosen != 23 {
+		t.Errorf("chosen %d, paper 23", r.Chosen)
+	}
+	// The knee must be a real cliff: miss ratio above it ~7%, below ~LA.
+	if r.Miss[22] < 0.05 || r.Miss[23] > 0.01 {
+		t.Errorf("no cliff at 23: mr(22)=%v mr(23)=%v", r.Miss[22], r.Miss[23])
+	}
+}
+
+func TestTable2MDBOrdering(t *testing.T) {
+	res, err := MDBTable2(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := map[core.PolicyKind]float64{}
+	for i, k := range res.Policies {
+		sp[k] = res.Speedup[i]
+	}
+	if sp[core.Eager] != 1 {
+		t.Errorf("ER speedup %v", sp[core.Eager])
+	}
+	// Paper ordering: ER < AT < SC < SC-offline < BEST.
+	if !(sp[core.AtlasTable] > 1.5 &&
+		sp[core.SoftCacheOnline] > sp[core.AtlasTable] &&
+		sp[core.SoftCacheOffline] >= sp[core.SoftCacheOnline] &&
+		sp[core.Best] > sp[core.SoftCacheOffline]) {
+		t.Errorf("ordering broken: %v", sp)
+	}
+	if sp[core.Best] < 4.5 || sp[core.Best] > 9.5 {
+		t.Errorf("BEST speedup %.2fx, paper 6.94x", sp[core.Best])
+	}
+}
+
+func TestTable3Headline(t *testing.T) {
+	res, err := FlushRatiosTable3(DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	// The headline: SC reduces write-backs by roughly an order of
+	// magnitude vs AT (paper 11.88x).
+	if res.AvgATOverSC < 7 || res.AvgATOverSC > 25 {
+		t.Errorf("average AT/SC %.1fx, paper 11.88x", res.AvgATOverSC)
+	}
+	if res.AvgSCOverLA < 1 || res.AvgSCOverLA > 2.5 {
+		t.Errorf("average SC/LA %.2fx, paper 1.43x", res.AvgSCOverLA)
+	}
+	for _, row := range res.Rows {
+		if row.ER != 1 {
+			t.Errorf("%s: ER %v", row.Name, row.ER)
+		}
+		if !(row.LA <= row.SC+1e-9 && row.SC <= row.AT+1e-9) {
+			t.Errorf("%s: ordering LA %v SC %v AT %v", row.Name, row.LA, row.SC, row.AT)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res, err := SpeedupsFigure4(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Best < row.SC-1e-9 || row.Best < row.AT-1e-9 {
+			t.Errorf("%s: BEST (%v) not the upper bound (AT %v, SC %v)",
+				row.Name, row.Best, row.AT, row.SC)
+		}
+		if row.AT < 1 {
+			t.Errorf("%s: AT slower than ER (%v)", row.Name, row.AT)
+		}
+	}
+	// Paper: AT 4.5x, SC 9.6x, BEST 16.1x on average.
+	if res.AvgSC < 5 || res.AvgSC > 15 {
+		t.Errorf("average SC speedup %.1fx, paper 9.6x", res.AvgSC)
+	}
+	if res.AvgBest < 10 || res.AvgBest > 22 {
+		t.Errorf("average BEST speedup %.1fx, paper 16.1x", res.AvgBest)
+	}
+	if res.AvgSCOffline < res.AvgSC-0.5 {
+		t.Errorf("SC-offline average (%v) below SC (%v)", res.AvgSCOffline, res.AvgSC)
+	}
+}
+
+func TestFigures56Shape(t *testing.T) {
+	res, err := ParallelFigures56(testOpt(), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 14 {
+		t.Fatalf("cells: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Figure 5: SC is never catastrophically worse than AT.
+		if row.SCOverAT < 0.7 {
+			t.Errorf("%s@%d: SC/AT %.2f", row.Name, row.Threads, row.SCOverAT)
+		}
+		// Figure 6: SC within a small factor of BEST (paper: 1-2 for most,
+		// ocean up to 11).
+		lim := 4.0
+		if row.Name == "ocean" {
+			lim = 14
+		}
+		if row.SCSlowdownVsBest < 1 || row.SCSlowdownVsBest > lim {
+			t.Errorf("%s@%d: SC/BEST %.2f outside [1,%.0f]", row.Name, row.Threads, row.SCSlowdownVsBest, lim)
+		}
+	}
+	// Paper: SC beats AT in 85% of cells.
+	if res.FracSCBeatsAT < 0.6 {
+		t.Errorf("SC beats AT in only %.0f%% of cells", 100*res.FracSCBeatsAT)
+	}
+}
+
+func TestTable4Trends(t *testing.T) {
+	res, err := WaterSpatialTable4(testOpt(), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(k core.PolicyKind, th int) WaterSpatialCell {
+		for _, c := range res.Cells {
+			if c.Policy == k && c.Threads == th {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %v@%d", k, th)
+		return WaterSpatialCell{}
+	}
+	for _, th := range []int{1, 8} {
+		at, sc, best := get(core.AtlasTable, th), get(core.SoftCacheOnline, th), get(core.Best, th)
+		if !(at.FlushRatio > sc.FlushRatio && sc.FlushRatio >= 0 && best.FlushRatio == 0) {
+			t.Errorf("threads=%d: flush ratios AT %v SC %v BEST %v", th, at.FlushRatio, sc.FlushRatio, best.FlushRatio)
+		}
+		if !(at.L1MissRatio >= sc.L1MissRatio && sc.L1MissRatio >= best.L1MissRatio) {
+			t.Errorf("threads=%d: L1 mr AT %v SC %v BEST %v", th, at.L1MissRatio, sc.L1MissRatio, best.L1MissRatio)
+		}
+		if !(sc.Instructions > best.Instructions && at.Instructions > best.Instructions) {
+			t.Errorf("threads=%d: instrumented instruction counts not above BEST", th)
+		}
+		if sc.Instructions <= at.Instructions {
+			t.Errorf("threads=%d: SC instructions (%v) not above AT (%v), paper shows ~6%% more",
+				th, sc.Instructions, at.Instructions)
+		}
+	}
+	// Contention: BEST's L1 miss ratio grows with the thread count.
+	if get(core.Best, 8).L1MissRatio <= get(core.Best, 1).L1MissRatio {
+		t.Error("BEST L1 miss ratio did not grow with threads")
+	}
+}
+
+func TestFigure7MRCAccuracy(t *testing.T) {
+	opt := DefaultRunOptions()
+	for _, name := range Figure7Programs {
+		r, err := MRCAccuracyFigure7(name, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// "Sampled MRC is not as precise ... but in terms of cache size
+		// selection, it is sufficiently good": all three curves must lead
+		// to nearly the same capacity choice.
+		if d := absInt(r.ChosenFull - r.ChosenActual); d > 3 {
+			t.Errorf("%s: full-trace choice %d vs actual %d", name, r.ChosenFull, r.ChosenActual)
+		}
+		if d := absInt(r.ChosenSampled - r.ChosenActual); d > 3 {
+			t.Errorf("%s: sampled choice %d vs actual %d", name, r.ChosenSampled, r.ChosenActual)
+		}
+	}
+}
+
+func TestFigure8Overheads(t *testing.T) {
+	res, err := OnlineOverheadFigure8(testOpt(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Overhead < 0 || row.Overhead > 0.25 {
+			t.Errorf("%s@%d: overhead %.1f%%", row.Name, row.Threads, 100*row.Overhead)
+		}
+	}
+	if res.Average > 0.15 {
+		t.Errorf("average overhead %.1f%%, paper 6.78%%", 100*res.Average)
+	}
+}
+
+func TestSelectedSizesAgainstPaper(t *testing.T) {
+	res, err := SelectedSizes(DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 8 {
+		t.Fatalf("programs: %v", res.Names)
+	}
+	for i, name := range res.Names {
+		if d := absInt(res.Chosen[i] - res.Paper[i]); d > 5 {
+			t.Errorf("%s: chosen %d, paper %d", name, res.Chosen[i], res.Paper[i])
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tb.AddRow("x", "1")
+	tb.Notes = append(tb.Notes, "n")
+	s := tb.String()
+	for _, want := range []string{"T", "a", "bb", "x", "1", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII plotting for cmd/nvbench: miss ratio curves and speedup bars, so
+// the "figures" read as figures in a terminal.
+
+// PlotCurve renders one or more aligned series as a fixed-height ASCII
+// chart. Series share the x axis (index = capacity) and the y axis is
+// scaled to the joint maximum.
+func PlotCurve(title string, names []string, series [][]float64, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	width := 0
+	maxV := 0.0
+	for _, s := range series {
+		if len(s) > width {
+			width = len(s)
+		}
+		for _, v := range s {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if width == 0 || maxV == 0 {
+		return b.String() + "(empty)\n"
+	}
+	marks := []byte("*o+x#@")
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for x, v := range s {
+			r := int((1 - v/maxV) * float64(height-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			grid[r][x] = m
+		}
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.4f ", maxV)
+		case height - 1:
+			label = fmt.Sprintf("%7.4f ", 0.0)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "         0%*s\n", width-1, fmt.Sprintf("%d", width-1))
+	for si, name := range names {
+		fmt.Fprintf(&b, "         %c = %s\n", marks[si%len(marks)], name)
+	}
+	return b.String()
+}
+
+// PlotBars renders labelled horizontal bars scaled to the maximum value.
+func PlotBars(title string, labels []string, values []float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxV := 0.0
+	labW := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > labW {
+			labW = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		return b.String() + "(empty)\n"
+	}
+	const barW = 48
+	for i, v := range values {
+		n := int(v / maxV * barW)
+		fmt.Fprintf(&b, "%-*s %s %.2f%s\n", labW, labels[i], strings.Repeat("#", n), v, unit)
+	}
+	return b.String()
+}
+
+// CSV renders a Table as comma-separated values (quotes are not needed:
+// every cell this harness emits is quote-free).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

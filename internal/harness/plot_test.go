@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotCurveRendersAllSeries(t *testing.T) {
+	out := PlotCurve("T", []string{"a", "b"},
+		[][]float64{{1, 0.5, 0.25}, {0.5, 0.5, 0.5}}, 6)
+	for _, want := range []string{"T", "* = a", "o = b", "1.0000", "0.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series marks missing")
+	}
+}
+
+func TestPlotCurveEmpty(t *testing.T) {
+	if out := PlotCurve("T", nil, nil, 6); !strings.Contains(out, "(empty)") {
+		t.Errorf("empty plot: %q", out)
+	}
+	if out := PlotCurve("T", []string{"z"}, [][]float64{{0, 0}}, 6); !strings.Contains(out, "(empty)") {
+		t.Errorf("all-zero plot: %q", out)
+	}
+}
+
+func TestPlotCurveHeightClamp(t *testing.T) {
+	out := PlotCurve("T", []string{"a"}, [][]float64{{1, 0}}, 1)
+	if lines := strings.Count(out, "\n"); lines < 5 {
+		t.Errorf("height clamp failed: %d lines", lines)
+	}
+}
+
+func TestPlotBars(t *testing.T) {
+	out := PlotBars("B", []string{"one", "two"}, []float64{2, 4}, "x")
+	if !strings.Contains(out, "one") || !strings.Contains(out, "4.00x") {
+		t.Errorf("bars:\n%s", out)
+	}
+	// The longer bar must have more hashes.
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Errorf("bar scaling wrong:\n%s", out)
+	}
+	if out := PlotBars("B", nil, nil, ""); !strings.Contains(out, "(empty)") {
+		t.Errorf("empty bars: %q", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("3", "4")
+	want := "a,b\n1,2\n3,4\n"
+	if got := tb.CSV(); got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,282 @@
+package harness
+
+import (
+	"math/rand"
+	"sync"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/hwsim"
+	"nvmcache/internal/locality"
+	"nvmcache/internal/trace"
+)
+
+// RunOptions tune one policy execution.
+type RunOptions struct {
+	Scale   float64
+	Threads int
+	Seed    int64
+	// PresetSize forces the software cache capacity (SC-offline and the
+	// Figure 8 "preset" runs). 0 derives it from the offline MRC.
+	PresetSize int
+	// MeasureL1 also runs the per-thread L1 simulator (Table IV).
+	MeasureL1 bool
+	// L1Lines / L1Ways configure the simulated cache (defaults 64 × 8).
+	L1Lines, L1Ways int
+	// ContentionPerMille injects that many random invalidations per 1000
+	// L1 accesses per extra thread pair, modelling cross-thread cache
+	// contention (Section IV-F); 0 uses the default model.
+	ContentionPerMille float64
+	// UseCLWB flushes with clwb semantics (no invalidation) instead of
+	// Atlas's clflush — an ablation the paper's Section II-A motivates.
+	UseCLWB bool
+	// Hibernation overrides the sampler's hibernation (0 = the paper's
+	// infinite; positive = re-sample every that many writes).
+	Hibernation int64
+}
+
+// DefaultRunOptions runs at the repository's default scale, single thread.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Scale: 1.0 / 256, Threads: 1, Seed: 42}
+}
+
+// Result is one (workload, policy, threads) execution.
+type Result struct {
+	Workload string
+	Policy   core.PolicyKind
+	Threads  int
+
+	Stores     int64
+	FASEs      int64
+	Flushes    int64
+	FlushRatio float64
+
+	// Cycles is the parallel makespan: the slowest thread's simulated
+	// clock, the stand-in for the paper's wall-clock seconds.
+	Cycles float64
+	// Instructions aggregates all threads (Table IV's "inst." row).
+	Instructions float64
+	// Stats sums the per-thread engine statistics.
+	Stats hwsim.EngineStats
+
+	// ChosenSize is the software cache capacity after adaptation (or the
+	// preset), 0 for non-cache policies.
+	ChosenSize int
+	// AnalyzedWrites is the online sampling volume (SC only).
+	AnalyzedWrites int64
+
+	// L1MissRatio is filled when MeasureL1 is set.
+	L1MissRatio float64
+}
+
+// OfflineSize computes the SC-offline capacity for a workload: the knee of
+// the whole-trace MRC of the first thread (the paper's offline profiling
+// run).
+func OfflineSize(w *Workload, opt RunOptions) (int, error) {
+	tr, err := w.Trace(opt.Scale, 1, opt.Seed)
+	if err != nil {
+		return 0, err
+	}
+	if len(tr.Threads) == 0 || tr.Threads[0].NumWrites() == 0 {
+		return locality.DefaultKneeConfig().DefaultSize, nil
+	}
+	renamed := trace.RenameFASEs(tr.Threads[0])
+	cfg := locality.DefaultKneeConfig()
+	mrc := locality.MRCFromReuse(locality.ReuseAll(renamed), cfg.MaxSize)
+	return locality.SelectSize(mrc, cfg), nil
+}
+
+// l1Flusher invalidates flushed lines in the simulated L1 (clflush
+// semantics) before forwarding to the engine.
+type l1Flusher struct {
+	l1   *hwsim.L1Cache
+	next core.Flusher
+}
+
+func (f l1Flusher) FlushAsync(line trace.LineAddr) {
+	f.l1.Invalidate(line)
+	f.next.FlushAsync(line)
+}
+
+func (f l1Flusher) FlushDrain(lines []trace.LineAddr) {
+	for _, l := range lines {
+		f.l1.Invalidate(l)
+	}
+	f.next.FlushDrain(lines)
+}
+
+// Run executes the workload under one policy with full cycle accounting.
+func Run(w *Workload, kind core.PolicyKind, opt RunOptions) (Result, error) {
+	if opt.Threads < 1 {
+		opt.Threads = 1
+	}
+	tr, err := w.Trace(opt.Scale, opt.Threads, opt.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Workload: w.Name, Policy: kind, Threads: opt.Threads}
+
+	cfg := core.DefaultConfig()
+	var total int64
+	for _, s := range tr.Threads {
+		total += int64(s.NumWrites())
+	}
+	perThread := total / int64(max(1, len(tr.Threads)))
+	cfg.BurstLength = BurstFor(perThread)
+	// Never sample more than an eighth of a thread's stream: with many
+	// threads strong scaling shrinks per-thread work and a fixed burst
+	// would otherwise dominate the run.
+	if cap8 := int(perThread / 8); cfg.BurstLength > cap8 && cap8 >= 256 {
+		cfg.BurstLength = cap8
+	}
+	if w.BurstFrac > 0 {
+		cfg.BurstLength = int(w.BurstFrac * float64(perThread))
+	}
+	if kind == core.SoftCacheOffline {
+		size := opt.PresetSize
+		if size == 0 {
+			if size, err = OfflineSize(w, opt); err != nil {
+				return Result{}, err
+			}
+		}
+		cfg.PresetSize = size
+	} else if opt.PresetSize > 0 {
+		cfg.PresetSize = opt.PresetSize
+	}
+
+	cm := hwsim.DefaultCostModel()
+	if w.ComputePerStore > 0 {
+		cm.ComputePerStore = w.ComputePerStore
+	}
+	cm.NoInvalidate = opt.UseCLWB
+	if opt.Hibernation != 0 {
+		cfg.Hibernation = opt.Hibernation
+	}
+	instr := hwsim.NoInstrument
+	switch kind {
+	case core.Lazy, core.AtlasTable:
+		instr = hwsim.TableInstrument
+	case core.SoftCacheOnline, core.SoftCacheOffline:
+		instr = hwsim.CacheInstrument
+	}
+
+	contention := opt.ContentionPerMille
+	if contention == 0 {
+		contention = 14 // default: see Table IV reproduction notes
+	}
+	l1Lines, l1Ways := opt.L1Lines, opt.L1Ways
+	if l1Lines == 0 {
+		l1Lines = 64
+	}
+	if l1Ways == 0 {
+		l1Ways = 8
+	}
+
+	// Threads are fully independent (per-thread policies, engines and
+	// L1s — the paper's isolation property), so they replay in parallel.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var l1Accesses, l1Misses int64
+	var maxCycles float64
+	for ti, s := range tr.Threads {
+		wg.Add(1)
+		go func(ti int, s *trace.ThreadSeq) {
+			defer wg.Done()
+			// Each thread owns a private L1 (per-core caches); cross-thread
+			// pressure is modelled by random invalidations whose rate grows
+			// with the thread count.
+			var l1 *hwsim.L1Cache
+			var rng *rand.Rand
+			if opt.MeasureL1 {
+				l1 = hwsim.NewL1Cache(l1Lines, l1Ways)
+				rng = rand.New(rand.NewSource(opt.Seed + int64(ti) + 1))
+			}
+			engine := hwsim.NewEngine(cm, opt.Threads)
+			var flusher core.Flusher = engine
+			if l1 != nil {
+				flusher = l1Flusher{l1: l1, next: engine}
+			}
+			counting := core.NewCountingFlusher(flusher)
+			policy := core.NewPolicy(kind, cfg, counting)
+			for i := 0; i < s.NumFASEs(); i++ {
+				engine.OnFASEBoundary()
+				policy.FASEBegin()
+				for _, line := range s.FASE(i) {
+					engine.OnStore(line, instr)
+					if l1 != nil {
+						l1.Access(line)
+						if opt.Threads > 1 && rng.Float64()*1000 < contention*float64(opt.Threads-1)/float64(opt.Threads) {
+							l1.InvalidateRandom(rng)
+						}
+					}
+					policy.Store(line)
+				}
+				policy.FASEEnd()
+				engine.OnFASEBoundary()
+			}
+			policy.Finish()
+			var rep core.AdaptReport
+			hasRep := false
+			if r, ok := policy.(core.SizeReporter); ok {
+				rep = r.AdaptReport()
+				hasRep = true
+				engine.ChargeAnalysis(rep.AnalyzedWrites)
+			}
+			st := engine.Stats()
+
+			mu.Lock()
+			defer mu.Unlock()
+			if hasRep {
+				res.ChosenSize = rep.ChosenSize
+				res.AnalyzedWrites += rep.AnalyzedWrites
+			}
+			if l1 != nil {
+				l1Accesses += l1.Accesses()
+				l1Misses += l1.Misses()
+			}
+			if st.Cycles > maxCycles {
+				maxCycles = st.Cycles
+			}
+			res.Stats.ComputeCycles += st.ComputeCycles
+			res.Stats.TableCycles += st.TableCycles
+			res.Stats.IssueCycles += st.IssueCycles
+			res.Stats.QueueStall += st.QueueStall
+			res.Stats.DrainStall += st.DrainStall
+			res.Stats.MissPenalty += st.MissPenalty
+			res.Stats.AnalysisCycles += st.AnalysisCycles
+			res.Stats.FASECycles += st.FASECycles
+			res.Stats.Stores += st.Stores
+			res.Stats.AsyncFlushes += st.AsyncFlushes
+			res.Stats.DrainFlushes += st.DrainFlushes
+			res.Stats.InvalidationRe += st.InvalidationRe
+			res.Stats.Instructions += st.Instructions
+			res.Stats.FASEs += st.FASEs
+			res.Stores += st.Stores
+			res.Flushes += counting.Stats().Total()
+		}(ti, s)
+	}
+	wg.Wait()
+	res.FASEs = res.Stats.FASEs / 2 // boundaries counted at begin and end
+	res.Cycles = maxCycles
+	res.Instructions = res.Stats.Instructions
+	if res.Stores > 0 {
+		res.FlushRatio = float64(res.Flushes) / float64(res.Stores)
+	}
+	if opt.MeasureL1 && l1Accesses > 0 {
+		res.L1MissRatio = float64(l1Misses) / float64(l1Accesses)
+	}
+	return res, nil
+}
+
+// RunAll executes every given policy on the workload and returns results
+// keyed by policy kind.
+func RunAll(w *Workload, kinds []core.PolicyKind, opt RunOptions) (map[core.PolicyKind]Result, error) {
+	out := make(map[core.PolicyKind]Result, len(kinds))
+	for _, k := range kinds {
+		r, err := Run(w, k, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = r
+	}
+	return out, nil
+}

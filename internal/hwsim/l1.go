@@ -1,0 +1,116 @@
+package hwsim
+
+import (
+	"math/rand"
+
+	"nvmcache/internal/trace"
+)
+
+// L1Cache is a set-associative, LRU, write-allocate hardware cache
+// simulator used to measure L1 miss ratios (Table IV). It tracks line tags
+// only. clflush both writes back and invalidates, so the policies'
+// Invalidate calls create the extra misses the paper attributes to
+// flushing.
+type L1Cache struct {
+	ways     int
+	setMask  uint64
+	sets     [][]trace.LineAddr // per set, MRU first
+	accesses int64
+	misses   int64
+}
+
+// NewL1Cache builds a cache with the given total capacity in lines and
+// associativity. Capacity must be a power-of-two multiple of ways.
+func NewL1Cache(lines, ways int) *L1Cache {
+	if ways < 1 {
+		ways = 1
+	}
+	numSets := lines / ways
+	if numSets < 1 {
+		numSets = 1
+	}
+	// Round down to a power of two for masking.
+	for numSets&(numSets-1) != 0 {
+		numSets &= numSets - 1
+	}
+	sets := make([][]trace.LineAddr, numSets)
+	for i := range sets {
+		sets[i] = make([]trace.LineAddr, 0, ways)
+	}
+	return &L1Cache{ways: ways, setMask: uint64(numSets - 1), sets: sets}
+}
+
+// Access touches a line, returning true on a miss (the line is then
+// allocated, evicting the set's LRU entry if needed).
+func (c *L1Cache) Access(line trace.LineAddr) (miss bool) {
+	c.accesses++
+	set := c.sets[uint64(line)&c.setMask]
+	for i, tag := range set {
+		if tag == line {
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return false
+		}
+	}
+	c.misses++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line
+	c.sets[uint64(line)&c.setMask] = set
+	return true
+}
+
+// Invalidate drops a line (clflush semantics). Unknown lines are ignored.
+func (c *L1Cache) Invalidate(line trace.LineAddr) {
+	set := c.sets[uint64(line)&c.setMask]
+	for i, tag := range set {
+		if tag == line {
+			c.sets[uint64(line)&c.setMask] = append(set[:i], set[i+1:]...)
+			return
+		}
+	}
+}
+
+// InvalidateRandom drops one random resident line, modelling cross-thread
+// cache contention (coherence traffic, scheduler interference): the paper's
+// explanation for BEST's rising L1 miss ratio at higher thread counts
+// (Section IV-F). Returns false if the cache is empty.
+func (c *L1Cache) InvalidateRandom(rng *rand.Rand) bool {
+	for attempts := 0; attempts < 8; attempts++ {
+		set := c.sets[rng.Intn(len(c.sets))]
+		if len(set) == 0 {
+			continue
+		}
+		i := rng.Intn(len(set))
+		line := set[i]
+		c.Invalidate(line)
+		return true
+	}
+	return false
+}
+
+// Accesses returns the number of accesses so far.
+func (c *L1Cache) Accesses() int64 { return c.accesses }
+
+// Misses returns the number of misses so far.
+func (c *L1Cache) Misses() int64 { return c.misses }
+
+// MissRatio returns misses/accesses (0 when idle).
+func (c *L1Cache) MissRatio() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Resident reports whether the line is currently cached (for tests).
+func (c *L1Cache) Resident(line trace.LineAddr) bool {
+	for _, tag := range c.sets[uint64(line)&c.setMask] {
+		if tag == line {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package kernels
+
+import (
+	"math"
+
+	"nvmcache/internal/core"
+)
+
+// MD runs a cell-list molecular dynamics step — the water-nsquared /
+// water-spatial regime: particles partitioned into spatial cells, each
+// timestep sweeping cell by cell with short-range pair forces, persistent
+// positions and velocities updated per cell inside one FASE per step. The
+// per-cell sweeps produce the small, repeatedly-revisited write working
+// sets whose MRC knee the adaptive cache discovers.
+type MDConfig struct {
+	Particles int
+	Cells     int // cells per side (Cells×Cells grid over the unit box)
+	Steps     int
+	DT        float64
+	Policy    core.PolicyKind
+}
+
+// DefaultMD is water-sized in miniature.
+func DefaultMD() MDConfig {
+	return MDConfig{Particles: 128, Cells: 4, Steps: 25, DT: 5e-4, Policy: core.SoftCacheOnline}
+}
+
+const partWords = 4 // x, y, vx, vy
+
+// MDResult carries the trace and physics diagnostics.
+type MDResult struct {
+	Result
+	// Kinetic energy of the final state.
+	Kinetic float64
+	// InBox reports whether every particle stayed inside the periodic box.
+	InBox bool
+}
+
+// RunMD executes the kernel.
+func RunMD(c MDConfig) (*MDResult, error) {
+	if c.Particles < 4 {
+		c.Particles = 4
+	}
+	if c.Cells < 1 {
+		c.Cells = 1
+	}
+	rt, th, err := newRuntime(1<<22+64*partWords*c.Particles, c.Policy)
+	if err != nil {
+		return nil, err
+	}
+	h := rt.Heap()
+	base, err := h.AllocLines(uint64(8 * partWords * c.Particles))
+	if err != nil {
+		return nil, err
+	}
+	addr := func(i, w int) uint64 { return base + uint64(8*(partWords*i+w)) }
+
+	// Init FASE: particles on a jittered lattice, small deterministic
+	// velocities.
+	side := int(math.Ceil(math.Sqrt(float64(c.Particles))))
+	th.FASEBegin()
+	for i := 0; i < c.Particles; i++ {
+		gx, gy := i%side, i/side
+		storeF(th, addr(i, 0), (float64(gx)+0.5+0.1*math.Sin(float64(i)))/float64(side))
+		storeF(th, addr(i, 1), (float64(gy)+0.5+0.1*math.Cos(float64(i)))/float64(side))
+		storeF(th, addr(i, 2), 0.05*math.Sin(float64(3*i)))
+		storeF(th, addr(i, 3), 0.05*math.Cos(float64(5*i)))
+	}
+	th.FASEEnd()
+
+	cutoff := 1.0 / float64(c.Cells)
+	cells := make([][]int, c.Cells*c.Cells)
+	fx := make([]float64, c.Particles)
+	fy := make([]float64, c.Particles)
+	cellOf := func(x, y float64) int {
+		cx := int(x * float64(c.Cells))
+		cy := int(y * float64(c.Cells))
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= c.Cells {
+			cx = c.Cells - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= c.Cells {
+			cy = c.Cells - 1
+		}
+		return cy*c.Cells + cx
+	}
+
+	for step := 0; step < c.Steps; step++ {
+		// Rebuild cell lists from persistent positions (volatile scratch).
+		for i := range cells {
+			cells[i] = cells[i][:0]
+		}
+		for i := 0; i < c.Particles; i++ {
+			cells[cellOf(loadF(th, addr(i, 0)), loadF(th, addr(i, 1)))] =
+				append(cells[cellOf(loadF(th, addr(i, 0)), loadF(th, addr(i, 1)))], i)
+		}
+		for i := range fx {
+			fx[i], fy[i] = 0, 0
+		}
+		// Short-range repulsive forces within and between adjacent cells.
+		for cy := 0; cy < c.Cells; cy++ {
+			for cx := 0; cx < c.Cells; cx++ {
+				for _, i := range cells[cy*c.Cells+cx] {
+					xi, yi := loadF(th, addr(i, 0)), loadF(th, addr(i, 1))
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							nx, ny := cx+dx, cy+dy
+							if nx < 0 || ny < 0 || nx >= c.Cells || ny >= c.Cells {
+								continue
+							}
+							for _, j := range cells[ny*c.Cells+nx] {
+								if j <= i {
+									continue
+								}
+								ddx := loadF(th, addr(j, 0)) - xi
+								ddy := loadF(th, addr(j, 1)) - yi
+								r2 := ddx*ddx + ddy*ddy
+								if r2 > cutoff*cutoff || r2 == 0 {
+									continue
+								}
+								f := 1e-3 * (cutoff*cutoff - r2) / r2
+								fx[i] -= f * ddx
+								fy[i] -= f * ddy
+								fx[j] += f * ddx
+								fy[j] += f * ddy
+							}
+						}
+					}
+				}
+			}
+		}
+		// One FASE per step, swept cell by cell (the water write pattern).
+		th.FASEBegin()
+		for ci := range cells {
+			for _, i := range cells[ci] {
+				vx := loadF(th, addr(i, 2)) + c.DT*fx[i]
+				vy := loadF(th, addr(i, 3)) + c.DT*fy[i]
+				x := math.Mod(loadF(th, addr(i, 0))+c.DT*vx+1, 1)
+				y := math.Mod(loadF(th, addr(i, 1))+c.DT*vy+1, 1)
+				storeF(th, addr(i, 2), vx)
+				storeF(th, addr(i, 3), vy)
+				storeF(th, addr(i, 0), x)
+				storeF(th, addr(i, 1), y)
+			}
+		}
+		th.FASEEnd()
+	}
+	rt.Close()
+
+	res := &MDResult{Result: Result{Trace: rt.Trace(), Heap: h}, InBox: true}
+	for i := 0; i < c.Particles; i++ {
+		vx, vy := loadF(th, addr(i, 2)), loadF(th, addr(i, 3))
+		res.Kinetic += 0.5 * (vx*vx + vy*vy)
+		x, y := loadF(th, addr(i, 0)), loadF(th, addr(i, 1))
+		if x < 0 || x >= 1 || y < 0 || y >= 1 {
+			res.InBox = false
+		}
+	}
+	return res, nil
+}

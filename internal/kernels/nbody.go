@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"math"
+
+	"nvmcache/internal/core"
+)
+
+// NBody integrates N gravitating bodies with a leapfrog step and direct
+// O(n²) forces — the computational regime of barnes/fmm, with the same
+// persistence shape: every timestep updates each body's position and
+// velocity in persistent memory inside one failure-atomic section, so a
+// crash never exposes a half-advanced system.
+//
+// Persistent layout per body: x, y, vx, vy, m padded to one cache line
+// (eight words), the usual HPC structure padding that also keeps one
+// body's update inside one line.
+type NBodyConfig struct {
+	Bodies int
+	Steps  int // failure-atomic checkpoints
+	// SubstepsPerFASE integrates this many leapfrog substeps per durable
+	// checkpoint: the persistent state is rewritten several times inside
+	// one section, the barnes/fmm write-combining opportunity.
+	SubstepsPerFASE int
+	DT              float64
+	Policy          core.PolicyKind
+}
+
+// DefaultNBody is a small but non-trivial system.
+func DefaultNBody() NBodyConfig {
+	return NBodyConfig{Bodies: 40, Steps: 10, SubstepsPerFASE: 4, DT: 1e-3, Policy: core.SoftCacheOnline}
+}
+
+const bodyWords = 8 // x, y, vx, vy, m + line padding
+
+// NBodyResult carries the trace plus end-state physics for validation.
+type NBodyResult struct {
+	Result
+	// Momentum of the final state (must be conserved by symmetry).
+	Px, Py float64
+	// Energy of the final state (drifts only slightly under leapfrog).
+	Energy float64
+}
+
+// RunNBody executes the kernel.
+func RunNBody(c NBodyConfig) (*NBodyResult, error) {
+	if c.Bodies < 2 {
+		c.Bodies = 2
+	}
+	rt, th, err := newRuntime(1<<22+64*bodyWords*8*c.Bodies, c.Policy)
+	if err != nil {
+		return nil, err
+	}
+	h := rt.Heap()
+	base, err := h.AllocLines(uint64(8 * bodyWords * c.Bodies))
+	if err != nil {
+		return nil, err
+	}
+	addr := func(i, w int) uint64 { return base + uint64(8*(bodyWords*i+w)) }
+
+	// Initialization FASE: a ring of bodies with tangential velocities
+	// (deterministic, momentum-free by symmetry).
+	th.FASEBegin()
+	for i := 0; i < c.Bodies; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(c.Bodies)
+		storeF(th, addr(i, 0), math.Cos(ang))      // x
+		storeF(th, addr(i, 1), math.Sin(ang))      // y
+		storeF(th, addr(i, 2), -math.Sin(ang)*0.3) // vx
+		storeF(th, addr(i, 3), math.Cos(ang)*0.3)  // vy
+		storeF(th, addr(i, 4), 1.0)                // m
+	}
+	th.FASEEnd()
+
+	if c.SubstepsPerFASE < 1 {
+		c.SubstepsPerFASE = 1
+	}
+	const soft = 1e-2 // softening avoids singular forces
+	fx := make([]float64, c.Bodies)
+	fy := make([]float64, c.Bodies)
+	for step := 0; step < c.Steps; step++ {
+		// One FASE per checkpoint: several substeps advance atomically,
+		// rewriting every body's record each substep.
+		th.FASEBegin()
+		for sub := 0; sub < c.SubstepsPerFASE; sub++ {
+			// Forces are computed from the (persistent) positions into
+			// volatile scratch; only the state update is persistent.
+			for i := range fx {
+				fx[i], fy[i] = 0, 0
+			}
+			for i := 0; i < c.Bodies; i++ {
+				xi, yi := loadF(th, addr(i, 0)), loadF(th, addr(i, 1))
+				mi := loadF(th, addr(i, 4))
+				for j := i + 1; j < c.Bodies; j++ {
+					dx := loadF(th, addr(j, 0)) - xi
+					dy := loadF(th, addr(j, 1)) - yi
+					mj := loadF(th, addr(j, 4))
+					inv := 1 / math.Pow(dx*dx+dy*dy+soft, 1.5)
+					f := mi * mj * inv
+					fx[i] += f * dx
+					fy[i] += f * dy
+					fx[j] -= f * dx
+					fy[j] -= f * dy
+				}
+			}
+			for i := 0; i < c.Bodies; i++ {
+				m := loadF(th, addr(i, 4))
+				vx := loadF(th, addr(i, 2)) + c.DT*fx[i]/m
+				vy := loadF(th, addr(i, 3)) + c.DT*fy[i]/m
+				storeF(th, addr(i, 2), vx)
+				storeF(th, addr(i, 3), vy)
+				storeF(th, addr(i, 0), loadF(th, addr(i, 0))+c.DT*vx)
+				storeF(th, addr(i, 1), loadF(th, addr(i, 1))+c.DT*vy)
+			}
+		}
+		th.FASEEnd()
+	}
+	rt.Close()
+
+	res := &NBodyResult{Result: Result{Trace: rt.Trace(), Heap: h}}
+	for i := 0; i < c.Bodies; i++ {
+		m := loadF(th, addr(i, 4))
+		vx, vy := loadF(th, addr(i, 2)), loadF(th, addr(i, 3))
+		res.Px += m * vx
+		res.Py += m * vy
+		res.Energy += 0.5 * m * (vx*vx + vy*vy)
+	}
+	for i := 0; i < c.Bodies; i++ {
+		xi, yi := loadF(th, addr(i, 0)), loadF(th, addr(i, 1))
+		for j := i + 1; j < c.Bodies; j++ {
+			dx, dy := loadF(th, addr(j, 0))-xi, loadF(th, addr(j, 1))-yi
+			res.Energy -= loadF(th, addr(i, 4)) * loadF(th, addr(j, 4)) /
+				math.Sqrt(dx*dx+dy*dy+soft)
+		}
+	}
+	return res, nil
+}

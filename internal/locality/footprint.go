@@ -1,0 +1,100 @@
+package locality
+
+// Footprint implements Xiang et al.'s average working-set size fp(k)
+// (HOTL, ASPLOS'13), Eq. 4 in the paper:
+//
+//	fp(k) = m - 1/(n-k+1) · [ Σ_i (f_i − k) I(f_i > k)
+//	                        + Σ_i ((n − l_i + 1) − k) I(n − l_i + 1 > k)
+//	                        + Σ_{t>k} (t − k) · cnt(rt = t) ]
+//
+// where m is the number of distinct data, f_i / l_i the first / last access
+// times of datum i, and cnt(rt = t) the number of accesses whose reuse time
+// (gap to the previous access of the same datum) equals t.
+//
+// The paper's central identity (Eq. 5) is reuse(k) + fp(k) = k; the test
+// suite checks it exactly on arbitrary traces, which cross-validates the
+// two completely different computations.
+
+// FootprintCurve holds fp(k) for every k = 0..n of one sequence.
+type FootprintCurve struct {
+	N  int
+	M  int // number of distinct data
+	Fp []float64
+}
+
+// FootprintAll computes fp(k) for all k in O(n + m) using histograms of
+// first-access times, reversed last-access times, and reuse times, each
+// reduced with suffix sums.
+func FootprintAll(seq []uint64) *FootprintCurve {
+	n := len(seq)
+	fc := &FootprintCurve{N: n, Fp: make([]float64, n+1)}
+	if n == 0 {
+		return fc
+	}
+	first := make(map[uint64]int, 1024)
+	last := make(map[uint64]int, 1024)
+	// histF[v] counts data with first access time v; histL[v] counts data
+	// with reversed last time n-l+1 = v; histR[t] counts reuse time t.
+	histF := make([]int64, n+2)
+	histL := make([]int64, n+2)
+	histR := make([]int64, n+2)
+	for i, a := range seq {
+		t := i + 1
+		if p, ok := last[a]; ok {
+			histR[t-p]++
+		} else {
+			first[a] = t
+		}
+		last[a] = t
+	}
+	for _, f := range first {
+		histF[f]++
+	}
+	for _, l := range last {
+		histL[n-l+1]++
+	}
+	fc.M = len(first)
+
+	// For each histogram h, term(k) = Σ_{v>k} (v-k)·h[v] = S(k) − k·C(k)
+	// with suffix count C(k) = Σ_{v>k} h[v] and sum S(k) = Σ_{v>k} v·h[v],
+	// both built by one reverse scan.
+	termOf := func(h []int64) []float64 {
+		out := make([]float64, n+1)
+		var c, s int64
+		for k := n; k >= 0; k-- {
+			// extend suffix to include v = k+1
+			if k+1 <= n+1 {
+				c += h[k+1]
+				s += int64(k+1) * h[k+1]
+			}
+			out[k] = float64(s) - float64(k)*float64(c)
+		}
+		return out
+	}
+	tF := termOf(histF)
+	tL := termOf(histL)
+	tR := termOf(histR)
+	for k := 1; k <= n; k++ {
+		fc.Fp[k] = float64(fc.M) - (tF[k]+tL[k]+tR[k])/float64(n-k+1)
+	}
+	return fc
+}
+
+// footprintBrute computes fp(k) by enumerating all windows — the defining
+// formula, used only in tests.
+func footprintBrute(seq []uint64, k int) float64 {
+	n := len(seq)
+	if k < 1 || k > n {
+		return 0
+	}
+	var total int64
+	seen := make(map[uint64]struct{}, k)
+	for w := 0; w+k <= n; w++ {
+		clear(seen)
+		for _, a := range seq[w : w+k] {
+			seen[a] = struct{}{}
+		}
+		total += int64(len(seen))
+	}
+	return float64(total) / float64(n-k+1)
+}

@@ -1,0 +1,265 @@
+package locality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MRC is a miss ratio curve over integer software-cache capacities:
+// Miss[c] is the predicted (or measured) miss ratio of a fully associative
+// LRU write-combining cache with capacity c lines, for c = 0..MaxSize().
+// Miss[0] is always 1.
+type MRC struct {
+	Miss []float64
+}
+
+// MaxSize returns the largest capacity the curve covers.
+func (m *MRC) MaxSize() int { return len(m.Miss) - 1 }
+
+// At returns the miss ratio at capacity c, clamping to the curve's range.
+func (m *MRC) At(c int) float64 {
+	if c < 0 {
+		c = 0
+	}
+	if c >= len(m.Miss) {
+		c = len(m.Miss) - 1
+	}
+	return m.Miss[c]
+}
+
+// String renders the curve compactly for logs and the mrc command.
+func (m *MRC) String() string {
+	var b strings.Builder
+	for c, mr := range m.Miss {
+		fmt.Fprintf(&b, "%d\t%.6f\n", c, mr)
+	}
+	return b.String()
+}
+
+// MRCFromReuse converts a reuse curve to a miss ratio curve over integer
+// capacities 0..maxSize using Eq. 3/6: the hit ratio at capacity
+// c = k − reuse(k) is reuse(k+1) − reuse(k). Capacities between successive
+// timescale samples inherit the hit ratio of the enclosing step; capacities
+// beyond the largest observed footprint keep the final miss ratio.
+func MRCFromReuse(rc *ReuseCurve, maxSize int) *MRC {
+	mrc := &MRC{Miss: make([]float64, maxSize+1)}
+	for i := range mrc.Miss {
+		mrc.Miss[i] = 1
+	}
+	pts := rc.HitRatioPoints()
+	if len(pts) == 0 {
+		return mrc
+	}
+	// Capacity is non-decreasing in k. For each integer capacity pick the
+	// first timescale whose capacity reaches it.
+	c := 1
+	best := make([]float64, maxSize+1)
+	filled := make([]bool, maxSize+1)
+	for _, p := range pts {
+		for c <= maxSize && float64(c) <= p.Capacity {
+			best[c] = p.HitRatio
+			filled[c] = true
+			c++
+		}
+		if c > maxSize {
+			break
+		}
+	}
+	lastHR := 0.0
+	for i := 1; i <= maxSize; i++ {
+		if filled[i] {
+			lastHR = best[i]
+		} else {
+			// Capacity larger than any observed footprint: the cache never
+			// fills, so every reuse hits; approximate with the last step.
+			best[i] = lastHR
+		}
+		mrc.Miss[i] = 1 - best[i]
+		// An MRC is non-increasing for LRU (stack inclusion); enforce it to
+		// remove derivative noise from boundary windows.
+		if mrc.Miss[i] > mrc.Miss[i-1] {
+			mrc.Miss[i] = mrc.Miss[i-1]
+		}
+	}
+	return mrc
+}
+
+// StackDistanceMRC measures the exact miss ratio curve of a fully
+// associative LRU cache on a renamed sequence, for capacities 0..maxSize,
+// by Mattson's stack algorithm. Because renamed addresses are unique per
+// FASE, this equals the true software-cache behaviour including the
+// FASE-end drain. Distances are only needed up to maxSize, so the stack is
+// a bounded slice and each access costs O(maxSize).
+func StackDistanceMRC(seq []uint64, maxSize int) *MRC {
+	n := len(seq)
+	mrc := &MRC{Miss: make([]float64, maxSize+1)}
+	for i := range mrc.Miss {
+		mrc.Miss[i] = 1
+	}
+	if n == 0 {
+		return mrc
+	}
+	// hist[d] counts accesses with stack distance d (0-based: d existing
+	// elements above it); hist[maxSize] aggregates "deeper or cold".
+	hist := make([]int64, maxSize+1)
+	stack := make([]uint64, 0, maxSize)
+	for _, a := range seq {
+		d := -1
+		for i, x := range stack {
+			if x == a {
+				d = i
+				break
+			}
+		}
+		if d >= 0 {
+			hist[d]++
+			copy(stack[1:d+1], stack[:d]) // lift a to the top
+		} else {
+			hist[maxSize]++ // deeper than maxSize or cold: miss at all sizes
+			if len(stack) < maxSize {
+				stack = append(stack, 0)
+			}
+			copy(stack[1:], stack[:len(stack)-1])
+		}
+		if len(stack) == 0 {
+			stack = append(stack, 0)
+		}
+		stack[0] = a
+	}
+	// A hit at capacity c occurs when stack distance < c.
+	var hits int64
+	for c := 1; c <= maxSize; c++ {
+		hits += hist[c-1]
+		mrc.Miss[c] = 1 - float64(hits)/float64(n)
+	}
+	return mrc
+}
+
+// KneeConfig controls cache size selection (Section III-C, "Cache Size
+// Optimization").
+type KneeConfig struct {
+	// MaxSize bounds the capacity to limit the FASE-end drain stall. The
+	// paper uses 50.
+	MaxSize int
+	// TopK is how many of the largest miss-ratio drops become knee
+	// candidates. The paper picks "the top few"; 5 matches Figure 2's five
+	// inflection points.
+	TopK int
+	// MinDrop is the smallest per-line miss-ratio decrease that counts as
+	// an inflection; below it the curve is considered knee-free and
+	// MaxSize is chosen.
+	MinDrop float64
+	// RelDrop additionally requires a candidate's decrease to be at least
+	// this fraction of the curve's largest decrease, so that derivative
+	// smear from reuse far beyond MaxSize (which the HOTL conversion
+	// spreads over mid-range capacities) does not masquerade as a knee.
+	RelDrop float64
+	// DefaultSize is the capacity used before any MRC is available. The
+	// paper uses 8.
+	DefaultSize int
+}
+
+// DefaultKneeConfig returns the paper's constants: default size 8, maximum
+// 50, five knee candidates.
+func DefaultKneeConfig() KneeConfig {
+	return KneeConfig{MaxSize: 50, TopK: 5, MinDrop: 1e-4, RelDrop: 0.02, DefaultSize: 8}
+}
+
+// Knees returns the candidate knee capacities of the curve: the TopK
+// capacities with the largest miss-ratio decrease over the previous
+// capacity, in increasing capacity order.
+func Knees(m *MRC, cfg KneeConfig) []int {
+	max := cfg.MaxSize
+	if max > m.MaxSize() {
+		max = m.MaxSize()
+	}
+	type drop struct {
+		c int
+		d float64
+	}
+	var maxDrop float64
+	for c := 1; c <= max; c++ {
+		if d := m.Miss[c-1] - m.Miss[c]; d > maxDrop {
+			maxDrop = d
+		}
+	}
+	floor := cfg.MinDrop
+	if rel := cfg.RelDrop * maxDrop; rel > floor {
+		floor = rel
+	}
+	drops := make([]drop, 0, max)
+	for c := 1; c <= max; c++ {
+		d := m.Miss[c-1] - m.Miss[c]
+		if d >= floor {
+			drops = append(drops, drop{c, d})
+		}
+	}
+	sort.Slice(drops, func(i, j int) bool {
+		if drops[i].d != drops[j].d {
+			return drops[i].d > drops[j].d
+		}
+		return drops[i].c < drops[j].c
+	})
+	if len(drops) > cfg.TopK {
+		drops = drops[:cfg.TopK]
+	}
+	out := make([]int, len(drops))
+	for i, d := range drops {
+		out[i] = d.c
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SelectSize picks the software-cache capacity from an MRC, implementing
+// Section III-C / Figure 2's rule: "the knee that has the smallest cache
+// miss ratio and is not overly large". Operationally that is the smallest
+// capacity whose miss ratio comes within a small slack of the curve's
+// terminal (best attainable) miss ratio — larger capacities only add
+// FASE-end drain stall for no benefit, smaller ones leave combinable
+// writes on the table. A curve with no drop of at least MinDrop anywhere
+// is considered knee-free and selects the maximal size, as the paper
+// specifies.
+func SelectSize(m *MRC, cfg KneeConfig) int {
+	max := cfg.MaxSize
+	if max > m.MaxSize() {
+		max = m.MaxSize()
+	}
+	var maxDrop float64
+	for c := 1; c <= max; c++ {
+		if d := m.Miss[c-1] - m.Miss[c]; d > maxDrop {
+			maxDrop = d
+		}
+	}
+	if maxDrop < cfg.MinDrop {
+		return max // no obvious inflection point
+	}
+	knees := Knees(m, cfg)
+	if len(knees) == 0 {
+		return max
+	}
+	c := knees[len(knees)-1]
+	tail := m.Miss[max]
+	span := m.Miss[0] - tail
+	// Beyond the last sharp knee the curve may keep a gradual but real
+	// decline (MDB's page-reuse tail); extend only when the remaining
+	// benefit is a substantial share of the whole curve, so that the HOTL
+	// conversion's smear of out-of-range reuse is never chased.
+	if m.Miss[c]-tail < 0.12*span {
+		return c
+	}
+	slack := 0.1 * tail
+	if s := 0.015 * span; s > slack {
+		slack = s
+	}
+	if slack < cfg.MinDrop {
+		slack = cfg.MinDrop
+	}
+	for ; c <= max; c++ {
+		if m.Miss[c] <= tail+slack {
+			return c
+		}
+	}
+	return max
+}

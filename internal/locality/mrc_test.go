@@ -1,0 +1,199 @@
+package locality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackDistanceMRCExact(t *testing.T) {
+	// Trace "abab": accesses 3 and 4 have stack distance 1 (one distinct
+	// line in between), so a cache of size 2 hits both: miss ratio 0.5.
+	// Size 1 misses everything.
+	m := StackDistanceMRC(seqOf("abab"), 4)
+	if m.Miss[0] != 1 {
+		t.Errorf("Miss[0] = %v", m.Miss[0])
+	}
+	if m.Miss[1] != 1 {
+		t.Errorf("Miss[1] = %v, want 1", m.Miss[1])
+	}
+	if math.Abs(m.Miss[2]-0.5) > 1e-12 {
+		t.Errorf("Miss[2] = %v, want 0.5", m.Miss[2])
+	}
+	if math.Abs(m.Miss[4]-0.5) > 1e-12 {
+		t.Errorf("Miss[4] = %v, want 0.5 (compulsory misses only)", m.Miss[4])
+	}
+}
+
+func TestStackDistanceMRCAllSame(t *testing.T) {
+	m := StackDistanceMRC(seqOf("aaaaa"), 3)
+	if math.Abs(m.Miss[1]-0.2) > 1e-12 {
+		t.Errorf("Miss[1] = %v, want 0.2", m.Miss[1])
+	}
+}
+
+func TestStackDistanceMRCDeeperThanMax(t *testing.T) {
+	// Working set of 4 cycled twice, maxSize 2: everything misses at ≤2.
+	m := StackDistanceMRC(seqOf("abcdabcd"), 2)
+	if m.Miss[2] != 1 {
+		t.Errorf("Miss[2] = %v, want 1", m.Miss[2])
+	}
+}
+
+// Property: the stack-distance miss ratio curve is non-increasing in
+// capacity (LRU inclusion).
+func TestQuickStackDistanceMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(rng.Intn(12))
+		}
+		m := StackDistanceMRC(s, 20)
+		for c := 1; c <= 20; c++ {
+			if m.Miss[c] > m.Miss[c-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The HOTL-converted MRC must agree with direct LRU simulation on cyclic
+// workloads (which satisfy the reuse-window hypothesis well). This is
+// invariant 7 of DESIGN.md.
+func TestMRCFromReuseMatchesSimulationCyclic(t *testing.T) {
+	for _, ws := range []int{4, 10, 25} {
+		s := make([]uint64, 0, 4000)
+		for r := 0; r < 4000/ws; r++ {
+			for d := 0; d < ws; d++ {
+				s = append(s, uint64(d))
+			}
+		}
+		pred := MRCFromReuse(ReuseAll(s), 50)
+		actual := StackDistanceMRC(s, 50)
+		// Below the working set everything misses; at/above it everything
+		// but compulsory hits. Check both regimes at a safe margin from
+		// the knee.
+		for _, c := range []int{1, ws - 2, ws + 2, 50} {
+			if c < 1 {
+				continue
+			}
+			if diff := math.Abs(pred.At(c) - actual.At(c)); diff > 0.1 {
+				t.Errorf("ws=%d c=%d: predicted %v actual %v (diff %v)",
+					ws, c, pred.At(c), actual.At(c), diff)
+			}
+		}
+	}
+}
+
+func TestMRCFromReuseMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(500)
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(rng.Intn(30))
+		}
+		m := MRCFromReuse(ReuseAll(s), 50)
+		for c := 1; c <= 50; c++ {
+			if m.Miss[c] > m.Miss[c-1]+1e-12 {
+				t.Fatalf("trial %d: MRC increases at c=%d", trial, c)
+			}
+		}
+	}
+}
+
+func TestMRCAtClamps(t *testing.T) {
+	m := &MRC{Miss: []float64{1, 0.5, 0.25}}
+	if m.At(-3) != 1 || m.At(0) != 1 || m.At(2) != 0.25 || m.At(99) != 0.25 {
+		t.Errorf("At clamping broken: %v %v %v %v", m.At(-3), m.At(0), m.At(2), m.At(99))
+	}
+	if m.MaxSize() != 2 {
+		t.Errorf("MaxSize = %d", m.MaxSize())
+	}
+}
+
+// stepMRC builds a synthetic curve with knees at the given sizes, each
+// dropping the miss ratio by the paired amount.
+func stepMRC(max int, knees map[int]float64) *MRC {
+	m := &MRC{Miss: make([]float64, max+1)}
+	cur := 1.0
+	for c := 0; c <= max; c++ {
+		if d, ok := knees[c]; ok {
+			cur -= d
+		}
+		m.Miss[c] = cur
+	}
+	return m
+}
+
+func TestKneesFindInflections(t *testing.T) {
+	m := stepMRC(50, map[int]float64{3: 0.2, 10: 0.3, 23: 0.4})
+	knees := Knees(m, DefaultKneeConfig())
+	want := map[int]bool{3: true, 10: true, 23: true}
+	if len(knees) != 3 {
+		t.Fatalf("knees = %v", knees)
+	}
+	for _, k := range knees {
+		if !want[k] {
+			t.Errorf("unexpected knee %d", k)
+		}
+	}
+}
+
+func TestSelectSizePicksLargestKnee(t *testing.T) {
+	// Figure 2's story: several knees; pick the one with the largest
+	// capacity (water-spatial chooses 23).
+	m := stepMRC(50, map[int]float64{2: 0.3, 7: 0.2, 15: 0.1, 23: 0.25})
+	if got := SelectSize(m, DefaultKneeConfig()); got != 23 {
+		t.Errorf("SelectSize = %d, want 23", got)
+	}
+}
+
+func TestSelectSizeNoKneeFallsBackToMax(t *testing.T) {
+	// Flat curve: no drop anywhere.
+	m := stepMRC(50, nil)
+	if got := SelectSize(m, DefaultKneeConfig()); got != 50 {
+		t.Errorf("SelectSize = %d, want max 50", got)
+	}
+	// Gentle linear decline below MinDrop threshold.
+	cfg := DefaultKneeConfig()
+	cfg.MinDrop = 0.05
+	lin := &MRC{Miss: make([]float64, 51)}
+	for c := range lin.Miss {
+		lin.Miss[c] = 1 - 0.001*float64(c)
+	}
+	if got := SelectSize(lin, cfg); got != 50 {
+		t.Errorf("SelectSize = %d, want 50", got)
+	}
+}
+
+func TestSelectSizeRespectsTopK(t *testing.T) {
+	// Six knees; only the five largest drops are candidates. The largest
+	// capacity among them wins.
+	m := stepMRC(50, map[int]float64{2: 0.3, 5: 0.25, 9: 0.2, 14: 0.15, 20: 0.1, 40: 0.001})
+	cfg := DefaultKneeConfig()
+	if got := SelectSize(m, cfg); got != 20 {
+		t.Errorf("SelectSize = %d, want 20 (40's drop ranks 6th)", got)
+	}
+}
+
+func TestSelectSizeBoundedByCurve(t *testing.T) {
+	m := stepMRC(10, nil)
+	if got := SelectSize(m, DefaultKneeConfig()); got != 10 {
+		t.Errorf("SelectSize = %d, want curve max 10", got)
+	}
+}
+
+func TestMRCString(t *testing.T) {
+	m := &MRC{Miss: []float64{1, 0.5}}
+	if s := m.String(); s == "" {
+		t.Fatal("empty render")
+	}
+}

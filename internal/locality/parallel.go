@@ -1,0 +1,122 @@
+package locality
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel all-window reuse analysis, in the spirit of PARDA (Niu et al.,
+// IPDPS'12 — the paper's Section V cites parallelization as the way to
+// scale locality measurement). The sequential ReuseAll is linear, but the
+// paper's full-scale bursts are 64M writes; this version splits the trace
+// into chunks, extracts chunk-local reuse intervals and per-datum
+// first/last occurrences in parallel, reconciles cross-chunk intervals
+// with one sequential sweep over the (much smaller) per-chunk summaries,
+// and reduces the per-worker difference arrays. The result is bit-exact
+// with ReuseAll.
+
+// chunkSummary is one worker's output: the chunk's internal reuse
+// intervals (cheap to apply sequentially — three array updates each) plus
+// per-datum first/last occurrences for boundary reconciliation. The
+// expensive part of the analysis — one hash probe per access — happens in
+// the workers.
+type chunkSummary struct {
+	intervals []Interval
+	// first/last occurrence (1-based global times) of each datum in the
+	// chunk, in first-occurrence order for determinism.
+	order []uint64
+	first map[uint64]int
+	last  map[uint64]int
+}
+
+// ReuseAllParallel computes the same curve as ReuseAll using up to
+// workers goroutines (≤ 0 means GOMAXPROCS).
+func ReuseAllParallel(seq []uint64, workers int) *ReuseCurve {
+	n := len(seq)
+	rc := &ReuseCurve{N: n, Reuse: make([]float64, n+1), Totals: make([]int64, n+1)}
+	if n == 0 {
+		return rc
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// addInterval applies the Figure 3 case analysis to a difference
+	// array (identical to the accumulation in ReuseAll).
+	addInterval := func(d2 []int64, s, e int) {
+		p1 := e - s + 1
+		lo, hi := e, n-s+1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		d2[p1]++
+		if lo+1 <= n+1 {
+			d2[lo+1]--
+		}
+		if hi+1 <= n+1 {
+			d2[hi+1]--
+		}
+	}
+
+	chunks := make([]chunkSummary, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			cs := chunkSummary{
+				first: make(map[uint64]int, hi-lo),
+				last:  make(map[uint64]int, hi-lo),
+			}
+			for i := lo; i < hi; i++ {
+				a := seq[i]
+				t := i + 1
+				if prev, ok := cs.last[a]; ok {
+					cs.intervals = append(cs.intervals, Interval{prev, t})
+				} else {
+					cs.first[a] = t
+					cs.order = append(cs.order, a)
+				}
+				cs.last[a] = t
+			}
+			chunks[w] = cs
+		}(w)
+	}
+	wg.Wait()
+
+	// Sequential epilogue. First the boundary reconciliation: intervals
+	// that cross chunk boundaries connect a datum's last occurrence in an
+	// earlier chunk to its first occurrence in a later one — this touches
+	// only per-chunk summaries (O(distinct) per chunk), not the trace.
+	// Then every interval is applied to the difference array: three array
+	// updates per interval, cheap next to the hashing the workers did.
+	d2 := make([]int64, n+2)
+	globalLast := make(map[uint64]int, len(chunks[0].last))
+	for w := range chunks {
+		cs := &chunks[w]
+		for _, a := range cs.order {
+			if prev, ok := globalLast[a]; ok {
+				addInterval(d2, prev, cs.first[a])
+			}
+		}
+		for a, t := range cs.last {
+			globalLast[a] = t
+		}
+		for _, iv := range cs.intervals {
+			addInterval(d2, iv.S, iv.E)
+		}
+	}
+
+	var slope, total int64
+	for k := 1; k <= n; k++ {
+		slope += d2[k]
+		total += slope
+		rc.Totals[k] = total
+		rc.Reuse[k] = float64(total) / float64(n-k+1)
+	}
+	return rc
+}

@@ -1,0 +1,95 @@
+package locality
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelMatchesSequentialSmall(t *testing.T) {
+	for _, s := range [][]uint64{
+		nil,
+		{1},
+		{1, 1, 1},
+		seqOf("abb"),
+		seqOf("abcabcabc"),
+	} {
+		for _, workers := range []int{1, 2, 3, 8} {
+			a := ReuseAll(s)
+			b := ReuseAllParallel(s, workers)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("workers=%d trace=%v: parallel differs", workers, s)
+			}
+		}
+	}
+}
+
+// Property: the parallel analysis is bit-exact with the sequential one on
+// arbitrary traces and worker counts, including cross-chunk reuse.
+func TestQuickParallelBitExact(t *testing.T) {
+	f := func(seed int64, w8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		vocab := 1 + rng.Intn(12)
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(rng.Intn(vocab))
+		}
+		workers := 1 + int(w8)%7
+		return reflect.DeepEqual(ReuseAll(s), ReuseAllParallel(s, workers))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelCrossChunkIntervals(t *testing.T) {
+	// A trace whose only reuse spans nearly its whole length: the interval
+	// must be found by the boundary reconciliation, not any chunk.
+	s := make([]uint64, 100)
+	for i := range s {
+		s[i] = uint64(1000 + i)
+	}
+	s[0], s[99] = 7, 7
+	for _, workers := range []int{2, 4, 7} {
+		if !reflect.DeepEqual(ReuseAll(s), ReuseAllParallel(s, workers)) {
+			t.Fatalf("workers=%d: cross-chunk interval mishandled", workers)
+		}
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	s := seqOf("abababab")
+	if !reflect.DeepEqual(ReuseAll(s), ReuseAllParallel(s, 0)) {
+		t.Fatal("default worker count differs")
+	}
+	// More workers than elements must clamp, not crash.
+	if !reflect.DeepEqual(ReuseAll(s[:2]), ReuseAllParallel(s[:2], 64)) {
+		t.Fatal("worker clamp broken")
+	}
+}
+
+// On multi-core hosts the parallel version approaches a per-core speedup
+// (the hash probes dominate and shard perfectly); on a single-core host it
+// only exposes the interval-materialization overhead. The benchmark exists
+// to measure that trade-off wherever it runs.
+func BenchmarkReuseAllParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := make([]uint64, 1<<21)
+	for i := range s {
+		s[i] = uint64(rng.Intn(1 << 13))
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(8 * len(s)))
+		for i := 0; i < b.N; i++ {
+			ReuseAll(s)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(8 * len(s)))
+		for i := 0; i < b.N; i++ {
+			ReuseAllParallel(s, 0)
+		}
+	})
+}

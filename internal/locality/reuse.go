@@ -1,0 +1,145 @@
+// Package locality implements the paper's reuse-based timescale locality
+// theory (Section III): the all-window reuse metric reuse(k) computed in
+// linear time, Xiang et al.'s footprint fp(k), the duality
+// reuse(k) + fp(k) = k, the HOTL conversion from reuse to cache hit/miss
+// ratio, miss-ratio-curve construction, and the knee-based cache size
+// selection the adaptive software cache uses at run time.
+//
+// All functions operate on renamed write sequences (see
+// internal/trace.RenameFASEs): plain []uint64 address streams in which the
+// FASE semantics has already been applied, so a reuse in the stream is
+// exactly a combinable write in the write-combining cache.
+package locality
+
+// Interval is a reuse interval [S, E]: a write at time S (1-based) and the
+// next write to the same datum at time E. Definition 1 in the paper.
+type Interval struct {
+	S, E int
+}
+
+// Intervals extracts all reuse intervals from a write sequence. Times are
+// 1-based, matching the paper's window arithmetic.
+func Intervals(seq []uint64) []Interval {
+	last := make(map[uint64]int, 1024)
+	var out []Interval
+	for i, a := range seq {
+		t := i + 1
+		if s, ok := last[a]; ok {
+			out = append(out, Interval{S: s, E: t})
+		}
+		last[a] = t
+	}
+	return out
+}
+
+// ReuseCurve holds reuse(k) for every timescale k = 0..n of one sequence.
+type ReuseCurve struct {
+	N int
+	// Reuse[k] is reuse(k): the average number of intra-window reuses
+	// over all windows of length k. Reuse[0] = 0.
+	Reuse []float64
+	// Totals[k] is the numerator of Eq. 1: the total number of
+	// (window, enclosed interval) pairs at window length k.
+	Totals []int64
+}
+
+// ReuseAll computes reuse(k) for all k in O(n + r) time using the
+// window-counting case analysis of Figure 3. For one interval [s, e] with
+// length L = e-s+1, the number of enclosing windows of length k is
+//
+//	count(k) = max(0, min(s, n-k+1) - max(1, e-k+1) + 1)
+//
+// which is 0 for k < L, rises with slope +1 on [L, min(e, n-s+1)], is flat
+// on [min(e, n-s+1), max(e, n-s+1)], and falls with slope -1 until k = n
+// (count 1). Each interval therefore contributes three slope changes to a
+// second-difference array; two prefix sums then yield all totals at once.
+func ReuseAll(seq []uint64) *ReuseCurve {
+	n := len(seq)
+	rc := &ReuseCurve{N: n, Reuse: make([]float64, n+1), Totals: make([]int64, n+1)}
+	if n == 0 {
+		return rc
+	}
+	// d2[k] holds slope changes entering window length k.
+	d2 := make([]int64, n+2)
+	last := make(map[uint64]int, 1024)
+	for i, a := range seq {
+		t := i + 1
+		if s, ok := last[a]; ok {
+			e := t
+			p1 := e - s + 1 // slope +1 begins
+			lo, hi := e, n-s+1
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			d2[p1]++ // count(p1) = 1, rising
+			if lo+1 <= n+1 {
+				d2[lo+1]-- // plateau
+			}
+			if hi+1 <= n+1 {
+				d2[hi+1]-- // descent
+			}
+		}
+		last[a] = t
+	}
+	var slope, total int64
+	for k := 1; k <= n; k++ {
+		slope += d2[k]
+		total += slope
+		rc.Totals[k] = total
+		rc.Reuse[k] = float64(total) / float64(n-k+1)
+	}
+	return rc
+}
+
+// reuseBrute computes reuse(k) by enumerating every window of length k —
+// the defining formula, O(n·k). Exported to tests via export_test.go.
+func reuseBrute(seq []uint64, k int) float64 {
+	n := len(seq)
+	if k < 1 || k > n {
+		return 0
+	}
+	intervals := Intervals(seq)
+	var total int64
+	for w := 1; w <= n-k+1; w++ {
+		lo, hi := w, w+k-1
+		for _, iv := range intervals {
+			if iv.S >= lo && iv.E <= hi {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(n-k+1)
+}
+
+// HitRatioCurve converts a reuse curve into (capacity, hit ratio) samples
+// using Eq. 3: hr(c) = reuse(k+1) - reuse(k) at c = k - reuse(k). The
+// capacities are real-valued and non-decreasing in k (they equal fp(k) by
+// the duality of Eq. 5).
+type HitRatioPoint struct {
+	K        int     // timescale
+	Capacity float64 // c = k - reuse(k) = fp(k)
+	HitRatio float64 // reuse(k+1) - reuse(k)
+}
+
+// HitRatioPoints derives the hit ratio at every timescale k = 1..n-1.
+func (rc *ReuseCurve) HitRatioPoints() []HitRatioPoint {
+	if rc.N < 2 {
+		return nil
+	}
+	pts := make([]HitRatioPoint, 0, rc.N-1)
+	for k := 1; k < rc.N; k++ {
+		hr := rc.Reuse[k+1] - rc.Reuse[k]
+		if hr < 0 {
+			hr = 0 // boundary-window noise at very large k
+		}
+		if hr > 1 {
+			hr = 1
+		}
+		pts = append(pts, HitRatioPoint{
+			K:        k,
+			Capacity: float64(k) - rc.Reuse[k],
+			HitRatio: hr,
+		})
+	}
+	return pts
+}

@@ -1,0 +1,221 @@
+package locality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqOf(s string) []uint64 {
+	out := make([]uint64, len(s))
+	for i, c := range s {
+		out[i] = uint64(c)
+	}
+	return out
+}
+
+func TestIntervals(t *testing.T) {
+	iv := Intervals(seqOf("abab"))
+	want := []Interval{{1, 3}, {2, 4}}
+	if len(iv) != len(want) {
+		t.Fatalf("got %v", iv)
+	}
+	for i := range want {
+		if iv[i] != want[i] {
+			t.Errorf("interval %d = %v, want %v", i, iv[i], want[i])
+		}
+	}
+	if got := Intervals(seqOf("abc")); len(got) != 0 {
+		t.Errorf("no-reuse trace produced intervals %v", got)
+	}
+	if got := Intervals(seqOf("aaa")); len(got) != 2 {
+		t.Errorf("aaa: got %v", got)
+	}
+}
+
+func TestReusePaperExampleABB(t *testing.T) {
+	// Paper: trace "abb" has two windows of length 2 with 0 and 1 reuses:
+	// reuse(2) = 1/2.
+	rc := ReuseAll(seqOf("abb"))
+	if got := rc.Reuse[2]; got != 0.5 {
+		t.Errorf("reuse(2) = %v, want 0.5", got)
+	}
+	if got := rc.Reuse[1]; got != 0 {
+		t.Errorf("reuse(1) = %v, want 0", got)
+	}
+	if got := rc.Reuse[3]; got != 1 {
+		t.Errorf("reuse(3) = %v, want 1", got)
+	}
+}
+
+func TestReuseABABPattern(t *testing.T) {
+	// Paper Section III-B table for "abab...": reuse(2)=0, reuse(3)=1,
+	// reuse(4)=2. These are exact for the infinite pattern and for any
+	// finite repetition of it.
+	s := make([]uint64, 0, 400)
+	for i := 0; i < 200; i++ {
+		s = append(s, 'a', 'b')
+	}
+	rc := ReuseAll(s)
+	for _, c := range []struct {
+		k    int
+		want float64
+	}{{1, 0}, {2, 0}, {3, 1}, {4, 2}} {
+		if got := rc.Reuse[c.k]; math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("reuse(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	// Eq. 3 example: hit ratio of cache size 2 is 1 (at k=3, c=3-1=2).
+	pts := rc.HitRatioPoints()
+	var found bool
+	for _, p := range pts {
+		if p.K == 3 {
+			found = true
+			if math.Abs(p.Capacity-2) > 1e-12 || math.Abs(p.HitRatio-1) > 1e-12 {
+				t.Errorf("at k=3: capacity %v hr %v, want 2, 1", p.Capacity, p.HitRatio)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no hit ratio point at k=3")
+	}
+}
+
+func TestReuseAllMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(40)
+		vocab := 1 + rng.Intn(8)
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(rng.Intn(vocab))
+		}
+		rc := ReuseAll(s)
+		for k := 1; k <= n; k++ {
+			want := reuseBrute(s, k)
+			if math.Abs(rc.Reuse[k]-want) > 1e-9 {
+				t.Fatalf("trial %d, trace %v: reuse(%d) = %v, brute %v", trial, s, k, rc.Reuse[k], want)
+			}
+		}
+	}
+}
+
+func TestReuseAllEdgeCases(t *testing.T) {
+	rc := ReuseAll(nil)
+	if rc.N != 0 || len(rc.Reuse) != 1 {
+		t.Fatalf("empty: %+v", rc)
+	}
+	rc = ReuseAll([]uint64{5})
+	if rc.Reuse[1] != 0 {
+		t.Errorf("single access reuse(1) = %v", rc.Reuse[1])
+	}
+	// All-same trace "aaaa": reuse(k) = (k-1) exactly for any k: every
+	// window of length k has k-1 reuses.
+	rc = ReuseAll(seqOf("aaaaaaaa"))
+	for k := 1; k <= 8; k++ {
+		if got := rc.Reuse[k]; math.Abs(got-float64(k-1)) > 1e-12 {
+			t.Errorf("aaaa...: reuse(%d) = %v, want %d", k, got, k-1)
+		}
+	}
+}
+
+func TestFootprintMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(40)
+		vocab := 1 + rng.Intn(8)
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(rng.Intn(vocab))
+		}
+		fc := FootprintAll(s)
+		for k := 1; k <= n; k++ {
+			want := footprintBrute(s, k)
+			if math.Abs(fc.Fp[k]-want) > 1e-9 {
+				t.Fatalf("trial %d, trace %v: fp(%d) = %v, brute %v", trial, s, k, fc.Fp[k], want)
+			}
+		}
+	}
+}
+
+// Property (Eq. 5): reuse(k) + fp(k) = k on arbitrary traces, for all k.
+// The two sides are computed by entirely different linear-time algorithms
+// (interval window counting vs first/last/reuse-time histograms), so this
+// is a strong cross-validation of both.
+func TestQuickDualityReusePlusFootprint(t *testing.T) {
+	f := func(seed int64, vocab8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		vocab := 1 + int(vocab8)%16
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(rng.Intn(vocab))
+		}
+		rc := ReuseAll(s)
+		fc := FootprintAll(s)
+		for k := 1; k <= n; k++ {
+			if math.Abs(rc.Reuse[k]+fc.Fp[k]-float64(k)) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reuse(k) is non-decreasing in k (since reuse = k − fp and
+// footprint grows by at most one per extra access) and reuse(k) ≤ k−1.
+func TestQuickReuseMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(150)
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = uint64(rng.Intn(6))
+		}
+		rc := ReuseAll(s)
+		for k := 1; k <= n; k++ {
+			if rc.Reuse[k]+1e-9 < rc.Reuse[k-1] {
+				return false
+			}
+			if rc.Reuse[k] > float64(k-1)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkReuseAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := make([]uint64, 1<<20)
+	for i := range s {
+		s[i] = uint64(rng.Intn(4096))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReuseAll(s)
+	}
+	b.SetBytes(int64(len(s) * 8))
+}
+
+func BenchmarkFootprintAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := make([]uint64, 1<<20)
+	for i := range s {
+		s[i] = uint64(rng.Intn(4096))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FootprintAll(s)
+	}
+	b.SetBytes(int64(len(s) * 8))
+}

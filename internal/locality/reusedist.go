@@ -1,0 +1,118 @@
+package locality
+
+// Reuse distance (LRU stack distance, Mattson et al. 1970) is the paper's
+// "access locality" alternative to timescale locality (Section III-A): it
+// yields the exact miss ratio at every capacity, but costs more than
+// linear time to measure — the asymptotic gap that motivates the paper's
+// reuse(k) formulation. This file provides the classic O(n log n)
+// Fenwick-tree (Bennett–Kruskal/Olken) measurement so the repository can
+// (a) cross-check the timescale MRC against exact ground truth at every
+// capacity, not just the bounded-stack range, and (b) benchmark the cost
+// gap the paper argues from (BenchmarkAblationReuseVsStackDistance).
+
+// RDHistogram is the distribution of exact stack distances of a sequence.
+type RDHistogram struct {
+	// Counts[d] is the number of accesses with stack distance d (d
+	// distinct other data accessed since the previous access to the same
+	// datum).
+	Counts []int64
+	// Cold counts first accesses (infinite distance).
+	Cold int64
+	// N is the total number of accesses.
+	N int64
+}
+
+// fenwick is a 1-based binary indexed tree over time positions.
+type fenwick struct{ tree []int64 }
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int64, n+1)} }
+
+func (f *fenwick) add(i int, v int64) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += v
+	}
+}
+
+// sum returns the prefix sum over [1, i].
+func (f *fenwick) sum(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// ReuseDistance measures the exact stack distance of every access in
+// O(n log n) time and O(n) space.
+func ReuseDistance(seq []uint64) *RDHistogram {
+	n := len(seq)
+	h := &RDHistogram{N: int64(n)}
+	if n == 0 {
+		return h
+	}
+	// The tree marks, for each currently-seen datum, the position of its
+	// most recent access. The number of marks after a datum's previous
+	// access position is exactly its stack distance.
+	bit := newFenwick(n)
+	last := make(map[uint64]int, 1024)
+	maxD := 0
+	counts := make([]int64, 16)
+	for i, a := range seq {
+		t := i + 1
+		if prev, ok := last[a]; ok {
+			d := int(bit.sum(n) - bit.sum(prev))
+			for d >= len(counts) {
+				counts = append(counts, make([]int64, len(counts))...)
+			}
+			counts[d]++
+			if d > maxD {
+				maxD = d
+			}
+			bit.add(prev, -1)
+		} else {
+			h.Cold++
+		}
+		bit.add(t, 1)
+		last[a] = t
+	}
+	h.Counts = counts[:maxD+1]
+	if maxD == 0 && counts[0] == 0 {
+		h.Counts = counts[:0]
+	}
+	return h
+}
+
+// MRC converts the histogram into the exact miss ratio curve for
+// capacities 0..maxSize: an access hits at capacity c iff its stack
+// distance is < c.
+func (h *RDHistogram) MRC(maxSize int) *MRC {
+	mrc := &MRC{Miss: make([]float64, maxSize+1)}
+	for i := range mrc.Miss {
+		mrc.Miss[i] = 1
+	}
+	if h.N == 0 {
+		return mrc
+	}
+	var hits int64
+	for c := 1; c <= maxSize; c++ {
+		if c-1 < len(h.Counts) {
+			hits += h.Counts[c-1]
+		}
+		mrc.Miss[c] = 1 - float64(hits)/float64(h.N)
+	}
+	return mrc
+}
+
+// Hits returns the number of accesses that hit in a fully associative LRU
+// cache of the given capacity.
+func (h *RDHistogram) Hits(capacity int) int64 {
+	var hits int64
+	for d := 0; d < capacity && d < len(h.Counts); d++ {
+		hits += h.Counts[d]
+	}
+	return hits
+}
+
+// MaxDistance returns the largest finite stack distance observed (-1 when
+// every access was cold).
+func (h *RDHistogram) MaxDistance() int { return len(h.Counts) - 1 }

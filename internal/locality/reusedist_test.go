@@ -1,0 +1,153 @@
+package locality
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReuseDistanceSmall(t *testing.T) {
+	// "abab": third access (a) has distance 1, fourth (b) distance 1.
+	h := ReuseDistance(seqOf("abab"))
+	if h.Cold != 2 {
+		t.Fatalf("Cold = %d", h.Cold)
+	}
+	if len(h.Counts) != 2 || h.Counts[0] != 0 || h.Counts[1] != 2 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	if h.MaxDistance() != 1 {
+		t.Fatalf("MaxDistance = %d", h.MaxDistance())
+	}
+}
+
+func TestReuseDistanceAllSame(t *testing.T) {
+	h := ReuseDistance(seqOf("aaaa"))
+	if h.Cold != 1 || h.Counts[0] != 3 {
+		t.Fatalf("hist %+v", h)
+	}
+}
+
+func TestReuseDistanceNoReuse(t *testing.T) {
+	h := ReuseDistance(seqOf("abcdef"))
+	if h.Cold != 6 || len(h.Counts) != 0 {
+		t.Fatalf("hist %+v", h)
+	}
+	if h.MaxDistance() != -1 {
+		t.Fatalf("MaxDistance = %d", h.MaxDistance())
+	}
+	if h.Hits(100) != 0 {
+		t.Fatal("phantom hits")
+	}
+}
+
+func TestReuseDistanceEmpty(t *testing.T) {
+	h := ReuseDistance(nil)
+	if h.N != 0 || h.Cold != 0 {
+		t.Fatalf("hist %+v", h)
+	}
+	if mr := h.MRC(4); mr.At(4) != 1 {
+		t.Fatal("empty MRC not all-miss")
+	}
+}
+
+// The exact-histogram MRC must agree with the bounded-stack simulation on
+// every capacity both cover.
+func TestQuickReuseDistanceMatchesStackSim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(400)
+		s := make([]uint64, n)
+		vocab := 1 + rng.Intn(30)
+		for i := range s {
+			s[i] = uint64(rng.Intn(vocab))
+		}
+		const maxSize = 24
+		a := ReuseDistance(s).MRC(maxSize)
+		b := StackDistanceMRC(s, maxSize)
+		for c := 0; c <= maxSize; c++ {
+			if diff := a.At(c) - b.At(c); diff > 1e-12 || diff < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cold count equals the number of distinct data; total counts plus cold
+// equals N; hits are monotone in capacity.
+func TestQuickReuseDistanceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := make([]uint64, n)
+		distinct := map[uint64]bool{}
+		for i := range s {
+			s[i] = uint64(rng.Intn(20))
+			distinct[s[i]] = true
+		}
+		h := ReuseDistance(s)
+		if h.Cold != int64(len(distinct)) {
+			return false
+		}
+		var total int64
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total+h.Cold != h.N {
+			return false
+		}
+		prev := int64(-1)
+		for c := 0; c <= 25; c++ {
+			hits := h.Hits(c)
+			if hits < prev {
+				return false
+			}
+			prev = hits
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The exact reuse-distance MRC and the timescale-converted MRC must agree
+// on cyclic workloads (the reuse-window hypothesis regime).
+func TestReuseDistanceVsTimescaleConversion(t *testing.T) {
+	s := make([]uint64, 0, 4000)
+	for pass := 0; pass < 200; pass++ {
+		for l := 0; l < 20; l++ {
+			s = append(s, uint64(l))
+		}
+	}
+	exact := ReuseDistance(s).MRC(50)
+	conv := MRCFromReuse(ReuseAll(s), 50)
+	for _, c := range []int{1, 10, 19, 21, 50} {
+		diff := exact.At(c) - conv.At(c)
+		if diff > 0.08 || diff < -0.08 {
+			t.Errorf("capacity %d: exact %v conv %v", c, exact.At(c), conv.At(c))
+		}
+	}
+	// Both select the working-set knee.
+	cfg := DefaultKneeConfig()
+	if a, b := SelectSize(exact, cfg), SelectSize(conv, cfg); a != b {
+		t.Errorf("selection disagrees: exact %d, converted %d", a, b)
+	}
+}
+
+func BenchmarkReuseDistanceExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := make([]uint64, 1<<20)
+	for i := range s {
+		s[i] = uint64(rng.Intn(4096))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReuseDistance(s)
+	}
+	b.SetBytes(int64(len(s) * 8))
+}

@@ -1,0 +1,116 @@
+package mdb
+
+// Range queries, LMDB-style: MDB is "read-optimized" and the paper's
+// Mtest interleaves "many traversals" with its updates; a cursor makes
+// those traversals incremental and bounded instead of whole-tree walks.
+
+// Cursor iterates keys in ascending order over one root (the current tree
+// or a snapshot). It holds the descent stack, so Next is amortized O(1)
+// plus O(depth) at page boundaries.
+type Cursor struct {
+	db    *DB
+	stack []cursorFrame
+	valid bool
+}
+
+type cursorFrame struct {
+	page uint64
+	idx  int
+}
+
+// Seek positions the cursor at the smallest key ≥ k in the given root
+// (pass db.Snapshot() for the current tree). It returns the cursor for
+// chaining; check Valid before reading.
+func (db *DB) Seek(root uint64, k uint64) *Cursor {
+	c := &Cursor{db: db}
+	p := root
+	for p != 0 {
+		if db.ptype(p) == pageLeaf {
+			n := db.nkeys(p)
+			i := 0
+			for i < n && db.key(p, i) < k {
+				i++
+			}
+			c.stack = append(c.stack, cursorFrame{p, i})
+			if i < n {
+				c.valid = true
+			} else {
+				c.valid = c.advance() // key beyond this leaf: step right
+			}
+			return c
+		}
+		i := db.childIndex(p, k)
+		c.stack = append(c.stack, cursorFrame{p, i})
+		p = db.val(p, i)
+	}
+	return c
+}
+
+// First positions the cursor at the smallest key in the root.
+func (db *DB) First(root uint64) *Cursor { return db.Seek(root, 0) }
+
+// Valid reports whether the cursor points at a key/value pair.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Key returns the current key (only when Valid).
+func (c *Cursor) Key() uint64 {
+	f := c.stack[len(c.stack)-1]
+	return c.db.key(f.page, f.idx)
+}
+
+// Value returns the current value (only when Valid).
+func (c *Cursor) Value() uint64 {
+	f := c.stack[len(c.stack)-1]
+	return c.db.val(f.page, f.idx)
+}
+
+// Next advances to the next key in order; it reports whether the cursor
+// remains valid.
+func (c *Cursor) Next() bool {
+	if !c.valid {
+		return false
+	}
+	top := &c.stack[len(c.stack)-1]
+	top.idx++
+	if top.idx < c.db.nkeys(top.page) {
+		return true
+	}
+	c.valid = c.advance()
+	return c.valid
+}
+
+// advance pops exhausted frames and descends into the next subtree.
+func (c *Cursor) advance() bool {
+	// Pop the exhausted leaf.
+	c.stack = c.stack[:len(c.stack)-1]
+	for len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		top.idx++
+		if top.idx < c.db.nkeys(top.page) {
+			// Descend into the leftmost path of the next subtree.
+			p := c.db.val(top.page, top.idx)
+			for {
+				c.stack = append(c.stack, cursorFrame{p, 0})
+				if c.db.ptype(p) == pageLeaf {
+					return c.db.nkeys(p) > 0
+				}
+				p = c.db.val(p, 0)
+			}
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+	return false
+}
+
+// Range visits all pairs with lo ≤ key < hi in ascending order; fn
+// returning false stops early.
+func (db *DB) Range(root uint64, lo, hi uint64, fn func(k, v uint64) bool) {
+	for c := db.Seek(root, lo); c.Valid(); c.Next() {
+		if c.Key() >= hi {
+			return
+		}
+		if !fn(c.Key(), c.Value()) {
+			return
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package mdb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nvmcache/internal/atlas"
+	"nvmcache/internal/core"
+	"nvmcache/internal/pmem"
+)
+
+func fill(t *testing.T, db *DB, keys []uint64) {
+	t.Helper()
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if err := db.Put(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCursorFullScan(t *testing.T) {
+	_, db := newDB(t, core.Lazy)
+	keys := []uint64{50, 10, 30, 70, 20, 60, 40}
+	fill(t, db, keys)
+	var got []uint64
+	for c := db.First(db.Snapshot()); c.Valid(); c.Next() {
+		got = append(got, c.Key())
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCursorSeek(t *testing.T) {
+	_, db := newDB(t, core.Lazy)
+	fill(t, db, []uint64{10, 20, 30, 40})
+	c := db.Seek(db.Snapshot(), 25)
+	if !c.Valid() || c.Key() != 30 {
+		t.Fatalf("Seek(25): valid=%v key=%v", c.Valid(), c.Key())
+	}
+	c = db.Seek(db.Snapshot(), 40)
+	if !c.Valid() || c.Key() != 40 {
+		t.Fatalf("Seek(40): valid=%v", c.Valid())
+	}
+	if c = db.Seek(db.Snapshot(), 41); c.Valid() {
+		t.Fatalf("Seek past the end valid at key %d", c.Key())
+	}
+}
+
+func TestCursorEmptyTree(t *testing.T) {
+	_, db := newDB(t, core.Lazy)
+	if c := db.First(db.Snapshot()); c.Valid() {
+		t.Fatal("cursor valid on empty tree")
+	}
+	db.Range(db.Snapshot(), 0, 100, func(_, _ uint64) bool {
+		t.Fatal("range visited something in an empty tree")
+		return false
+	})
+}
+
+func TestRangeBounds(t *testing.T) {
+	_, db := newDB(t, core.Lazy)
+	fill(t, db, []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	var got []uint64
+	db.Range(db.Snapshot(), 3, 7, func(k, _ uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 4 || got[0] != 3 || got[3] != 6 {
+		t.Fatalf("range [3,7) = %v", got)
+	}
+	// Early stop.
+	n := 0
+	db.Range(db.Snapshot(), 0, 100, func(_, _ uint64) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestCursorOnSnapshotIgnoresLaterWrites(t *testing.T) {
+	_, db := newDB(t, core.Lazy)
+	db.DisableRecycling()
+	fill(t, db, []uint64{1, 2, 3})
+	snap := db.Snapshot()
+	fill(t, db, []uint64{4, 5})
+	n := 0
+	for c := db.First(snap); c.Valid(); c.Next() {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("snapshot cursor saw %d keys, want 3", n)
+	}
+}
+
+// Property: the cursor enumerates exactly the reference map's keys in
+// sorted order, across random tree shapes with deletions.
+func TestQuickCursorMatchesSortedKeys(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt, db := quickDB(seed)
+		_ = rt
+		ref := map[uint64]uint64{}
+		if err := db.Begin(); err != nil {
+			return false
+		}
+		for op := 0; op < 120; op++ {
+			k := uint64(rng.Intn(200))
+			if rng.Intn(5) == 0 {
+				if _, err := db.Delete(k); err != nil {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				if err := db.Put(k, k*3); err != nil {
+					return false
+				}
+				ref[k] = k * 3
+			}
+		}
+		if err := db.Commit(); err != nil {
+			return false
+		}
+		want := make([]uint64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		i := 0
+		for c := db.First(db.Snapshot()); c.Valid(); c.Next() {
+			if i >= len(want) || c.Key() != want[i] || c.Value() != ref[c.Key()] {
+				return false
+			}
+			i++
+		}
+		return i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickDB builds a store without a *testing.T, for quick.Check properties.
+func quickDB(_ int64) (*atlas.Runtime, *DB) {
+	h := pmem.New(1 << 24)
+	opts := atlas.DefaultOptions()
+	opts.Policy = core.Lazy
+	opts.LogEntries = 1 << 15
+	rt := atlas.NewRuntime(h, opts)
+	th, err := rt.NewThread()
+	if err != nil {
+		panic(err)
+	}
+	db, err := Open(th)
+	if err != nil {
+		panic(err)
+	}
+	return rt, db
+}

@@ -1,0 +1,169 @@
+package mdb
+
+import (
+	"fmt"
+
+	"nvmcache/internal/atlas"
+	"nvmcache/internal/core"
+	"nvmcache/internal/pmem"
+	"nvmcache/internal/trace"
+)
+
+// MtestConfig shapes the paper's Mtest workload (Section IV-C): insert a
+// stream of key/value pairs "along with many traversals and deletions",
+// batching operations into durable transactions. At the paper's full scale
+// (1M insertions, 100K FASEs) each FASE carries ~652 persistent stores.
+type MtestConfig struct {
+	Inserts int // keys inserted (paper: 1,000,000)
+	// Prepopulate inserts this many keys before tracing starts, so the
+	// measured phase runs on a mature tree. At paper scale the tree depth
+	// saturates within the first ~1% of Mtest; scaled-down runs need the
+	// warm-up to reproduce the same steady-state write locality.
+	Prepopulate int
+	OpsPerTxn   int // operations per durable transaction (≈ 10 matches the paper's stores/FASE)
+	ScanEvery   int // run a full traversal after every N transactions
+	DeleteFrac  int // delete one key per this many inserts (paper mixes deletions in)
+	Threads     int // writer threads, each with a private tree (paper runs 8)
+}
+
+// DefaultMtest matches the paper's proportions at full scale.
+func DefaultMtest() MtestConfig {
+	return MtestConfig{Inserts: 1000000, Prepopulate: 1000000, OpsPerTxn: 20, ScanEvery: 500, DeleteFrac: 10, Threads: 8}
+}
+
+// Scale shrinks the insert count by factor s.
+func (c MtestConfig) Scale(s float64) MtestConfig {
+	c.Inserts = int(float64(c.Inserts) * s)
+	if c.Inserts < 64 {
+		c.Inserts = 64
+	}
+	c.Prepopulate = int(float64(c.Prepopulate) * s)
+	return c
+}
+
+// MtestResult carries the workload's trace and end-state for validation.
+type MtestResult struct {
+	Trace     *trace.Trace
+	Stats     trace.Stats
+	FinalKeys int
+}
+
+// RunMtest executes the workload. Each thread owns a private DB (LMDB is
+// single-writer; the paper's 8-thread run shards work), so threads are
+// independent exactly like the paper's per-thread software caches.
+func RunMtest(c MtestConfig) (*MtestResult, error) {
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.OpsPerTxn < 1 {
+		c.OpsPerTxn = 1
+	}
+	perThread := c.Inserts / c.Threads
+	// Heap: pages are recycled, so live pages ≈ keys/4 plus txn churn.
+	heapBytes := 64*1024*1024 + 256*c.Inserts
+	h := pmem.New(heapBytes)
+	opts := atlas.DefaultOptions()
+	opts.Policy = core.Best // trace recording only; policies replay later
+	opts.LogEntries = 1 << 15
+	rt := atlas.NewRuntime(h, opts)
+
+	finalKeys := 0
+	for ti := 0; ti < c.Threads; ti++ {
+		th, err := rt.NewThread()
+		if err != nil {
+			return nil, err
+		}
+		// Pool sizing: live pages stay near keys/4 with recycling; churn
+		// and splits need headroom.
+		pages := (perThread + c.Prepopulate/c.Threads) + 4096
+		db, err := OpenSized(th, pages)
+		if err != nil {
+			return nil, err
+		}
+		if c.Prepopulate > 0 {
+			th.SetRecording(false)
+			if err := prepopulate(db, ti, c.Prepopulate/c.Threads, c); err != nil {
+				return nil, fmt.Errorf("mdb: thread %d warmup: %w", ti, err)
+			}
+			th.SetRecording(true)
+		}
+		if err := runThread(db, ti, perThread, c); err != nil {
+			return nil, fmt.Errorf("mdb: thread %d: %w", ti, err)
+		}
+		finalKeys += db.Count()
+	}
+	rt.Close()
+	tr := rt.Trace()
+	return &MtestResult{Trace: tr, Stats: trace.ComputeStats(tr), FinalKeys: finalKeys}, nil
+}
+
+// prepopulate fills the tree before measurement (untraced warm-up).
+func prepopulate(db *DB, ti, inserts int, c MtestConfig) error {
+	x := uint64(ti)*0x517cc1b727220a95 + 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for done := 0; done < inserts; {
+		if err := db.Begin(); err != nil {
+			return err
+		}
+		for op := 0; op < c.OpsPerTxn && done < inserts; op++ {
+			if err := db.Put(next(), uint64(done)); err != nil {
+				return err
+			}
+			done++
+		}
+		if err := db.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runThread(db *DB, ti, inserts int, c MtestConfig) error {
+	// Pseudo-random but deterministic key stream (xorshift), thread-salted.
+	x := uint64(ti)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	done := 0
+	txns := 0
+	var pendingDeletes []uint64
+	for done < inserts {
+		if err := db.Begin(); err != nil {
+			return err
+		}
+		for op := 0; op < c.OpsPerTxn && done < inserts; op++ {
+			k := next()
+			if err := db.Put(k, uint64(done)); err != nil {
+				return err
+			}
+			if c.DeleteFrac > 0 && done%c.DeleteFrac == c.DeleteFrac-1 {
+				pendingDeletes = append(pendingDeletes, k)
+			}
+			done++
+		}
+		// Deletions ride along in the same transaction stream.
+		for len(pendingDeletes) > 0 && txns%3 == 2 {
+			k := pendingDeletes[len(pendingDeletes)-1]
+			pendingDeletes = pendingDeletes[:len(pendingDeletes)-1]
+			if _, err := db.Delete(k); err != nil {
+				return err
+			}
+		}
+		if err := db.Commit(); err != nil {
+			return err
+		}
+		txns++
+		if c.ScanEvery > 0 && txns%c.ScanEvery == 0 {
+			db.Count() // read-only traversal
+		}
+	}
+	return nil
+}

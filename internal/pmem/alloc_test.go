@@ -1,0 +1,156 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolAllocFreeReuse(t *testing.T) {
+	h := New(1 << 16)
+	p, err := NewPool(h, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Capacity() != 8 || p.Remaining() != 8 {
+		t.Fatalf("capacity %d remaining %d", p.Capacity(), p.Remaining())
+	}
+	a, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("double allocation")
+	}
+	p.Free(a)
+	if p.FreeCount() != 1 {
+		t.Fatalf("FreeCount = %d", p.FreeCount())
+	}
+	c, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("free list not reused: got %d, want %d", c, a)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	h := New(1 << 16)
+	p, err := NewPool(h, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := make([]uint64, 0, 4)
+	for i := 0; i < 4; i++ {
+		b, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+	}
+	if _, err := p.Alloc(); err == nil {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+	p.Free(blocks[2])
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+}
+
+func TestPoolBlockSizeRounding(t *testing.T) {
+	h := New(1 << 16)
+	p, err := NewPool(h, 3, 4) // rounds to 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BlockSize() != 8 {
+		t.Fatalf("block size %d", p.BlockSize())
+	}
+}
+
+func TestPoolSurvivesCrash(t *testing.T) {
+	h := New(1 << 16)
+	p, err := NewPool(h, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetRoot(p.Base())
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	p.Free(a)
+	_ = b
+	h.Crash()
+	p2, err := OpenPool(h, h.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metadata is persisted on every operation: the free list and cursor
+	// survive.
+	if p2.FreeCount() != 1 {
+		t.Fatalf("FreeCount after crash = %d", p2.FreeCount())
+	}
+	c, err := p2.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("recovered free list handed out %d, want %d", c, a)
+	}
+}
+
+func TestOpenPoolRejectsGarbage(t *testing.T) {
+	h := New(1 << 16)
+	addr, _ := h.Alloc(64)
+	h.WriteUint64(addr, 13) // not a multiple of 8
+	if _, err := OpenPool(h, addr); err == nil {
+		t.Fatal("OpenPool accepted garbage")
+	}
+}
+
+// Property: under random alloc/free/crash sequences the pool never hands
+// out a block twice, never loses capacity permanently (outstanding +
+// remaining ≤ capacity, with equality unless a crash leaked), and block
+// addresses stay inside the arena.
+func TestQuickPoolConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(1 << 18)
+		p, err := NewPool(h, 64, 32)
+		if err != nil {
+			return false
+		}
+		arenaLo := p.Base() + poolHdr
+		arenaHi := arenaLo + 64*32
+		owned := map[uint64]bool{}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				b, err := p.Alloc()
+				if err != nil {
+					continue // exhausted is fine
+				}
+				if owned[b] || b < arenaLo || b+64 > arenaHi {
+					return false
+				}
+				owned[b] = true
+			case 3:
+				for b := range owned {
+					p.Free(b)
+					delete(owned, b)
+					break
+				}
+			case 4:
+				h.Crash() // metadata is persisted per-op: state survives
+			}
+		}
+		return len(owned)+p.Remaining() <= p.Capacity()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

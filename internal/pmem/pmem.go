@@ -1,0 +1,299 @@
+// Package pmem emulates byte-addressable non-volatile memory. The paper
+// emulates NVRAM with DRAM-backed tmpfs; this package goes one step
+// further and models the *volatility boundary* explicitly: every heap has a
+// volatile view (the CPU-cache-resident state the program reads and
+// writes) and a persisted view (what NVRAM would hold after a power
+// failure). A cache-line flush copies one line from the volatile view to
+// the persisted view; Crash discards the volatile view. That makes crash
+// consistency directly testable, which tmpfs alone cannot do.
+//
+// Addresses are offsets into the heap. Offset 0 holds a 64-byte header
+// (root pointer, allocator cursor, runtime-metadata pointer), so valid
+// object addresses start at HeaderSize.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"nvmcache/internal/trace"
+)
+
+// HeaderSize is the reserved heap header: root pointer at offset 0,
+// allocation cursor at offset 8, runtime metadata pointer at offset 16.
+const HeaderSize = trace.LineSize
+
+const (
+	rootOff  = 0
+	allocOff = 8
+	metaOff  = 16
+)
+
+// Heap is one emulated NVRAM region. All methods are safe for concurrent
+// use (one coarse mutex — the heap is the functional substrate; timing is
+// measured by trace replay through internal/hwsim, never through here).
+type Heap struct {
+	mu        sync.Mutex
+	mem       []byte // volatile view: program reads and writes land here
+	persisted []byte // durable view: updated only by line flushes
+	dirty     map[trace.LineAddr]struct{}
+	crashes   int
+}
+
+// New creates a heap of the given size (rounded up to a whole number of
+// cache lines, minimum one line for the header).
+func New(size int) *Heap {
+	if size < HeaderSize {
+		size = HeaderSize
+	}
+	if r := size % trace.LineSize; r != 0 {
+		size += trace.LineSize - r
+	}
+	h := &Heap{
+		mem:       make([]byte, size),
+		persisted: make([]byte, size),
+		dirty:     make(map[trace.LineAddr]struct{}, 1024),
+	}
+	binary.LittleEndian.PutUint64(h.mem[allocOff:], HeaderSize)
+	h.persistLocked(0, HeaderSize)
+	return h
+}
+
+// Size returns the heap size in bytes.
+func (h *Heap) Size() uint64 { return uint64(len(h.mem)) }
+
+func (h *Heap) check(addr, n uint64) {
+	if addr+n > uint64(len(h.mem)) || addr+n < addr {
+		panic(fmt.Sprintf("pmem: access [%d,%d) outside heap of %d bytes", addr, addr+n, len(h.mem)))
+	}
+}
+
+func (h *Heap) markDirty(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := addr >> trace.LineShift
+	last := (addr + n - 1) >> trace.LineShift
+	for l := first; l <= last; l++ {
+		h.dirty[trace.LineAddr(l)] = struct{}{}
+	}
+}
+
+// flushLineLocked copies one line to the durable view. Caller holds mu.
+func (h *Heap) flushLineLocked(line trace.LineAddr) {
+	start := line.ByteAddr()
+	h.check(start, trace.LineSize)
+	copy(h.persisted[start:start+trace.LineSize], h.mem[start:start+trace.LineSize])
+	delete(h.dirty, line)
+}
+
+// persistLocked flushes every line covering [addr, addr+n). Caller holds mu.
+func (h *Heap) persistLocked(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.check(addr, n)
+	first := addr >> trace.LineShift
+	last := (addr + n - 1) >> trace.LineShift
+	for l := first; l <= last; l++ {
+		h.flushLineLocked(trace.LineAddr(l))
+	}
+}
+
+func (h *Heap) allocLocked(n uint64) (uint64, error) {
+	cur := binary.LittleEndian.Uint64(h.mem[allocOff:])
+	if r := cur % 8; r != 0 {
+		cur += 8 - r
+	}
+	if cur+n > uint64(len(h.mem)) || cur+n < cur {
+		return 0, fmt.Errorf("pmem: out of memory allocating %d bytes (cursor %d, heap %d)", n, cur, len(h.mem))
+	}
+	binary.LittleEndian.PutUint64(h.mem[allocOff:], cur+n)
+	h.markDirty(allocOff, 8)
+	h.persistLocked(0, HeaderSize)
+	return cur, nil
+}
+
+// Alloc carves n bytes (8-byte aligned) out of the heap with a bump
+// allocator and returns the address. The allocator cursor is persisted
+// immediately so allocations survive crashes (recoverable allocation à la
+// Makalu is out of scope; see DESIGN.md). Alloc fails when the heap is
+// exhausted.
+func (h *Heap) Alloc(n uint64) (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.allocLocked(n)
+}
+
+// AllocLines allocates n bytes aligned to a cache-line boundary, so the
+// object's lines are not shared with neighbours.
+func (h *Heap) AllocLines(n uint64) (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	aligned := (binary.LittleEndian.Uint64(h.mem[allocOff:]) + 7) &^ 7
+	if r := aligned % trace.LineSize; r != 0 {
+		if _, err := h.allocLocked(trace.LineSize - r); err != nil { // pad
+			return 0, err
+		}
+	}
+	return h.allocLocked(n)
+}
+
+// SetRoot stores and persists the root object pointer the program uses to
+// find its data after a restart.
+func (h *Heap) SetRoot(addr uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	binary.LittleEndian.PutUint64(h.mem[rootOff:], addr)
+	h.persistLocked(0, HeaderSize)
+}
+
+// Root returns the persistent root pointer.
+func (h *Heap) Root() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return binary.LittleEndian.Uint64(h.mem[rootOff:])
+}
+
+// SetMeta stores and persists the runtime-metadata pointer (the Atlas
+// runtime keeps its crash-recovery log registry there, separate from the
+// application's root object).
+func (h *Heap) SetMeta(addr uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	binary.LittleEndian.PutUint64(h.mem[metaOff:], addr)
+	h.persistLocked(0, HeaderSize)
+}
+
+// Meta returns the runtime-metadata pointer (0 when unset).
+func (h *Heap) Meta() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return binary.LittleEndian.Uint64(h.mem[metaOff:])
+}
+
+// WriteUint64 writes v at addr in the volatile view.
+func (h *Heap) WriteUint64(addr uint64, v uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.check(addr, 8)
+	binary.LittleEndian.PutUint64(h.mem[addr:], v)
+	h.markDirty(addr, 8)
+}
+
+// ReadUint64 reads from the volatile view.
+func (h *Heap) ReadUint64(addr uint64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.check(addr, 8)
+	return binary.LittleEndian.Uint64(h.mem[addr:])
+}
+
+// WriteBytes copies b into the volatile view at addr.
+func (h *Heap) WriteBytes(addr uint64, b []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.check(addr, uint64(len(b)))
+	copy(h.mem[addr:], b)
+	h.markDirty(addr, uint64(len(b)))
+}
+
+// ReadBytes copies n bytes from the volatile view into a fresh slice.
+func (h *Heap) ReadBytes(addr, n uint64) []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.check(addr, n)
+	out := make([]byte, n)
+	copy(out, h.mem[addr:addr+n])
+	return out
+}
+
+// PersistedUint64 reads the durable view (what a crash would preserve);
+// recovery and tests use it.
+func (h *Heap) PersistedUint64(addr uint64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.check(addr, 8)
+	return binary.LittleEndian.Uint64(h.persisted[addr:])
+}
+
+// FlushLine copies one cache line from the volatile to the durable view:
+// the clwb/clflush data movement. (Whether the flush also invalidates the
+// hardware cache is a *cost* question handled by internal/hwsim; the data
+// movement is the same.)
+func (h *Heap) FlushLine(line trace.LineAddr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.flushLineLocked(line)
+}
+
+// Persist flushes every line covering [addr, addr+n).
+func (h *Heap) Persist(addr, n uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.persistLocked(addr, n)
+}
+
+// DirtyLines returns the lines written since their last flush, in
+// unspecified order.
+func (h *Heap) DirtyLines() []trace.LineAddr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]trace.LineAddr, 0, len(h.dirty))
+	for l := range h.dirty {
+		out = append(out, l)
+	}
+	return out
+}
+
+// DirtyCount returns the number of unflushed lines.
+func (h *Heap) DirtyCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.dirty)
+}
+
+// Crash simulates a power failure: the volatile view is replaced by the
+// durable view, losing every write that was never flushed.
+func (h *Heap) Crash() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	copy(h.mem, h.persisted)
+	clear(h.dirty)
+	h.crashes++
+}
+
+// Crashes reports how many simulated failures the heap has survived.
+func (h *Heap) Crashes() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.crashes
+}
+
+// PersistAll flushes every dirty line (used by tests and by clean
+// shutdown).
+func (h *Heap) PersistAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for l := range h.dirty {
+		start := l.ByteAddr()
+		copy(h.persisted[start:start+trace.LineSize], h.mem[start:start+trace.LineSize])
+	}
+	clear(h.dirty)
+}
+
+// Flusher adapts the heap to core.Flusher so persistence policies can
+// drive real data movement: FlushAsync and FlushDrain both copy lines to
+// the durable view (timing is hwsim's concern, not pmem's).
+type Flusher struct{ H *Heap }
+
+// FlushAsync implements core.Flusher.
+func (f Flusher) FlushAsync(line trace.LineAddr) { f.H.FlushLine(line) }
+
+// FlushDrain implements core.Flusher.
+func (f Flusher) FlushDrain(lines []trace.LineAddr) {
+	for _, l := range lines {
+		f.H.FlushLine(l)
+	}
+}

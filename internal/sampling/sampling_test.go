@@ -1,0 +1,107 @@
+package sampling
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBurstCompletion(t *testing.T) {
+	s := New(Config{BurstLength: 3, Hibernation: Infinite})
+	if done := s.RecordStore(1); done {
+		t.Fatal("burst done after 1 write")
+	}
+	if done := s.RecordStore(2); done {
+		t.Fatal("burst done after 2 writes")
+	}
+	if done := s.RecordStore(1); !done {
+		t.Fatal("burst not done after 3 writes")
+	}
+	if got := s.Burst(); !reflect.DeepEqual(got, []uint64{0, 1, 0}) {
+		t.Errorf("burst = %v", got)
+	}
+	if s.Completed() != 1 {
+		t.Errorf("Completed = %d", s.Completed())
+	}
+}
+
+func TestInfiniteHibernation(t *testing.T) {
+	s := New(Config{BurstLength: 1, Hibernation: Infinite})
+	s.RecordStore(1)
+	for i := 0; i < 100; i++ {
+		if done := s.RecordStore(2); done {
+			t.Fatal("sampler woke from infinite hibernation")
+		}
+	}
+	if s.Collecting() {
+		t.Fatal("still collecting")
+	}
+}
+
+func TestFiniteHibernationWakes(t *testing.T) {
+	s := New(Config{BurstLength: 2, Hibernation: 3})
+	s.RecordStore(1)
+	s.RecordStore(2) // burst 1 done
+	for i := 0; i < 3; i++ {
+		if s.Collecting() {
+			t.Fatalf("collecting during hibernation write %d", i)
+		}
+		s.RecordStore(9)
+	}
+	if !s.Collecting() {
+		t.Fatal("did not wake after hibernation")
+	}
+	s.RecordStore(5)
+	if done := s.RecordStore(5); !done {
+		t.Fatal("second burst did not complete")
+	}
+	if s.Completed() != 2 {
+		t.Errorf("Completed = %d", s.Completed())
+	}
+	// Renaming namespace restarts per burst.
+	if got := s.Burst(); !reflect.DeepEqual(got, []uint64{0, 0}) {
+		t.Errorf("burst 2 = %v", got)
+	}
+}
+
+func TestFASEEndRenamesWithinBurst(t *testing.T) {
+	s := New(Config{BurstLength: 4, Hibernation: Infinite})
+	s.RecordStore(7)
+	s.RecordStore(7)
+	s.FASEEnd()
+	s.RecordStore(7)
+	s.RecordStore(7)
+	// ab|ab semantics: 7 before and after the boundary are distinct data.
+	if got := s.Burst(); !reflect.DeepEqual(got, []uint64{0, 0, 1, 1}) {
+		t.Errorf("burst = %v", got)
+	}
+}
+
+func TestAnalyzedCount(t *testing.T) {
+	s := New(Config{BurstLength: 10, Hibernation: Infinite})
+	for i := 0; i < 4; i++ {
+		s.RecordStore(1)
+	}
+	if s.Analyzed() != 4 {
+		t.Errorf("Analyzed = %d", s.Analyzed())
+	}
+}
+
+func TestZeroBurstLengthClamped(t *testing.T) {
+	s := New(Config{BurstLength: 0})
+	if done := s.RecordStore(1); !done {
+		t.Fatal("clamped burst length 1 should complete immediately")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(Config{BurstLength: 2, Hibernation: Infinite})
+	s.RecordStore(1)
+	s.RecordStore(2)
+	if s.Collecting() {
+		t.Fatal("should hibernate")
+	}
+	s.Reset()
+	if !s.Collecting() || len(s.Burst()) != 0 {
+		t.Fatal("Reset did not restart collection")
+	}
+}

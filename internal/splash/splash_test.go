@@ -1,0 +1,204 @@
+package splash
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/locality"
+	"nvmcache/internal/trace"
+)
+
+// burstFor mirrors the harness default: a burst around 0.1% of the trace,
+// at least 1024 writes (the paper's 64M burst is ~0.1% of its billions of
+// stores).
+func burstFor(stores int64) int {
+	b := int(stores / 1000)
+	if b < 1024 {
+		b = 1024
+	}
+	return b
+}
+
+func within(got, want, relTol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want)/want <= relTol
+}
+
+// The headline calibration: every program's generated LA/AT/SC flush
+// ratios stay near Table III and the controller picks the Section IV-G
+// cache size. Tolerances are deliberately tight enough to preserve the
+// paper's factors (who wins, by roughly how much) and loose enough to
+// survive seed changes.
+func TestCalibrationAgainstTableIII(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tr := p.Generate(DefaultScale, 1, 42)
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			st := trace.ComputeStats(tr)
+			cfg := core.DefaultConfig()
+			cfg.BurstLength = burstFor(st.TotalWrites)
+			la := core.FlushRatio(core.Lazy, cfg, tr)
+			at := core.FlushRatio(core.AtlasTable, cfg, tr)
+			sc := core.FlushRatio(core.SoftCacheOnline, cfg, tr)
+			er := core.FlushRatio(core.Eager, cfg, tr)
+			if er != 1 {
+				t.Errorf("ER ratio %v, want 1", er)
+			}
+			if !within(la, p.PaperLA, 0.25) {
+				t.Errorf("LA ratio %v, paper %v", la, p.PaperLA)
+			}
+			if !within(at, p.PaperAT, 0.25) {
+				t.Errorf("AT ratio %v, paper %v", at, p.PaperAT)
+			}
+			if !within(sc, p.PaperSC, 0.60) {
+				t.Errorf("SC ratio %v, paper %v", sc, p.PaperSC)
+			}
+			// Ordering: LA ≤ SC ≤ AT for every SPLASH2 program in Table III.
+			if !(la <= sc+1e-12 && sc <= at+1e-12) {
+				t.Errorf("ordering violated: LA %v SC %v AT %v", la, sc, at)
+			}
+		})
+	}
+}
+
+func TestSelectedCacheSizesMatchSectionIVG(t *testing.T) {
+	for _, p := range Programs() {
+		tr := p.Generate(DefaultScale, 1, 42)
+		renamed := trace.RenameFASEs(tr.Threads[0])
+		mrc := locality.MRCFromReuse(locality.ReuseAll(renamed), 50)
+		chosen := locality.SelectSize(mrc, locality.DefaultKneeConfig())
+		if chosen != p.PaperChosen {
+			t.Errorf("%s: chosen %d, paper %d", p.Name, chosen, p.PaperChosen)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, err := ProgramByName("barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Generate(1.0/1024, 2, 7)
+	b := p.Generate(1.0/1024, 2, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := p.Generate(1.0/1024, 2, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestProgramByNameUnknown(t *testing.T) {
+	if _, err := ProgramByName("nope"); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestStrongScaling(t *testing.T) {
+	p, _ := ProgramByName("water-spatial")
+	base := trace.ComputeStats(p.Generate(DefaultScale, 1, 42))
+	for _, threads := range []int{2, 8, 32} {
+		tr := p.Generate(DefaultScale, threads, 42)
+		st := trace.ComputeStats(tr)
+		if st.Threads != threads {
+			t.Fatalf("threads=%d: trace has %d threads", threads, st.Threads)
+		}
+		// Strong scaling: total stores nearly constant (halo exchange adds
+		// a little boundary traffic, as in the real programs; Table IV
+		// shows instructions growing ~20% from 1 to 32 threads).
+		growth := float64(st.TotalWrites) / float64(base.TotalWrites)
+		if growth < 1 || growth > 1.5 {
+			t.Errorf("threads=%d: store growth %.2fx outside [1, 1.5]", threads, growth)
+		}
+		// FASE count grows with the thread count (Section IV-F): exactly
+		// threads-fold while every thread can own phase lines.
+		if threads <= 8 {
+			want := base.TotalFASEs * int64(threads)
+			if st.TotalFASEs != want {
+				t.Errorf("threads=%d: FASEs %d, want %d", threads, st.TotalFASEs, want)
+			}
+		} else if st.TotalFASEs <= base.TotalFASEs {
+			t.Errorf("threads=%d: FASE count did not grow (%d)", threads, st.TotalFASEs)
+		}
+	}
+}
+
+// Section IV-F: "the data flush ratio slightly increases with the number
+// of threads" because splitting FASEs creates extra compulsory misses.
+func TestFlushRatioGrowsWithThreads(t *testing.T) {
+	p, _ := ProgramByName("water-spatial")
+	cfg := core.DefaultConfig()
+	cfg.PresetSize = p.PaperChosen
+	r1 := core.FlushRatio(core.SoftCacheOffline, cfg, p.Generate(DefaultScale, 1, 42))
+	r32 := core.FlushRatio(core.SoftCacheOffline, cfg, p.Generate(DefaultScale, 32, 42))
+	if r32 <= r1 {
+		t.Errorf("flush ratio did not grow with threads: 1T %v, 32T %v", r1, r32)
+	}
+	// ... but only modestly (the paper's Table IV shows 0.43% -> 1.00%).
+	if r32 > 6*r1 {
+		t.Errorf("flush ratio exploded with threads: 1T %v, 32T %v", r1, r32)
+	}
+}
+
+func TestScaleInvarianceOfRatios(t *testing.T) {
+	// Halving the scale must not materially change the flush ratios — the
+	// guarantee that lets the repository run at 1/256 of paper size.
+	p, _ := ProgramByName("barnes")
+	cfg := core.DefaultConfig()
+	cfg.PresetSize = p.PaperChosen
+	a := core.FlushRatio(core.SoftCacheOffline, cfg, p.Generate(DefaultScale, 1, 42))
+	b := core.FlushRatio(core.SoftCacheOffline, cfg, p.Generate(DefaultScale/2, 1, 42))
+	if !within(b, a, 0.3) {
+		t.Errorf("ratio not scale invariant: %v at 1/256, %v at 1/512", a, b)
+	}
+}
+
+func TestBigWarmupKeepsBurstClean(t *testing.T) {
+	// The first bigWarmup stores contain no big phase, so an online burst
+	// of up to that many writes sees only regular sweeps.
+	p, _ := ProgramByName("ocean")
+	tr := p.Generate(DefaultScale, 1, 42)
+	s := tr.Threads[0]
+	distinctRuns := map[trace.LineAddr]int{}
+	for _, w := range s.Writes[:min(bigWarmup, len(s.Writes))] {
+		distinctRuns[w]++
+	}
+	// A big phase would contribute ≥ BigW distinct lines in one region;
+	// normal ocean phases have W=2. Check no window of the warmup has a
+	// huge per-phase working set by bounding total distinct lines:
+	// warmup/(P·V) phases × W lines each, plus slack.
+	maxDistinct := bigWarmup/(p.P*p.V)*p.W + 4*p.W
+	if len(distinctRuns) > maxDistinct {
+		t.Errorf("warmup has %d distinct lines, want ≤ %d (big phase leaked in)", len(distinctRuns), maxDistinct)
+	}
+}
+
+func TestTableIIIAverageReduction(t *testing.T) {
+	// Headline claim: SC reduces write-backs ~12× vs AT on average
+	// (excluding persistent-array/linked-list/queue). Check the SPLASH2
+	// part of that average is in the right regime (paper: AT/SC over the
+	// seven programs ≈ 14.7× arithmetic mean).
+	var sum float64
+	var n int
+	for _, p := range Programs() {
+		tr := p.Generate(DefaultScale, 1, 42)
+		cfg := core.DefaultConfig()
+		cfg.BurstLength = burstFor(int64(tr.Threads[0].NumWrites()))
+		at := core.FlushRatio(core.AtlasTable, cfg, tr)
+		sc := core.FlushRatio(core.SoftCacheOnline, cfg, tr)
+		sum += at / sc
+		n++
+	}
+	avg := sum / float64(n)
+	if avg < 7 || avg > 25 {
+		t.Errorf("average AT/SC factor %.1f, want within the paper's regime (~15×)", avg)
+	}
+}

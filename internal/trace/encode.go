@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a small magic header, then one record per thread:
+// thread id, write count, FASE count, delta-varint encoded line addresses,
+// varint FASE bounds (delta encoded). Traces of tens of millions of writes
+// encode at a few bytes per store, which keeps recorded workloads shareable
+// between the harness and the offline MRC tools.
+
+const magic = "NVMT1\n"
+
+var errBadMagic = errors.New("trace: bad magic; not a trace file")
+
+// Encode writes the trace in binary form.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Threads))); err != nil {
+		return err
+	}
+	for _, s := range t.Threads {
+		if err := putUvarint(uint64(uint32(s.Thread))); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(s.Writes))); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(s.Bounds))); err != nil {
+			return err
+		}
+		var prev uint64
+		for _, wr := range s.Writes {
+			if err := putVarint(int64(uint64(wr)) - int64(prev)); err != nil {
+				return err
+			}
+			prev = uint64(wr)
+		}
+		prevB := 0
+		for _, b := range s.Bounds {
+			if err := putUvarint(uint64(b - prevB)); err != nil {
+				return err
+			}
+			prevB = b
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace previously written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errBadMagic
+	}
+	nThreads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: thread count: %w", err)
+	}
+	const maxThreads = 1 << 20
+	if nThreads > maxThreads {
+		return nil, fmt.Errorf("trace: implausible thread count %d", nThreads)
+	}
+	seqs := make([]*ThreadSeq, 0, nThreads)
+	for ti := uint64(0); ti < nThreads; ti++ {
+		th, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread id: %w", err)
+		}
+		nw, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: write count: %w", err)
+		}
+		nb, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bound count: %w", err)
+		}
+		if nb > nw+1 {
+			return nil, fmt.Errorf("trace: %d bounds for %d writes", nb, nw)
+		}
+		s := &ThreadSeq{
+			Thread: int32(uint32(th)),
+			Writes: make([]LineAddr, nw),
+			Bounds: make([]int, nb),
+		}
+		var prev uint64
+		for i := range s.Writes {
+			d, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: write %d: %w", i, err)
+			}
+			prev = uint64(int64(prev) + d)
+			s.Writes[i] = LineAddr(prev)
+		}
+		prevB := 0
+		for i := range s.Bounds {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bound %d: %w", i, err)
+			}
+			prevB += int(d)
+			s.Bounds[i] = prevB
+		}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		seqs = append(seqs, s)
+	}
+	return NewTrace(seqs...), nil
+}

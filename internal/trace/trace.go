@@ -1,0 +1,321 @@
+// Package trace defines the persistent-write event model shared by the
+// whole repository: cache-line addressing, per-thread write sequences with
+// failure-atomic-section (FASE) boundaries, trace statistics, the FASE
+// address renaming required by the paper's locality analysis (Section
+// III-B), and a compact binary encoding.
+//
+// Every workload in this repository — the micro-benchmarks, the MDB
+// key-value store, and the SPLASH2 write-locality generators — ultimately
+// produces one Trace. Persistence policies (internal/core) and locality
+// analysis (internal/locality) consume traces, never raw data structures,
+// which keeps the two halves of the system independently testable.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LineShift is log2 of the cache-line size. The paper's test machine uses
+// 64-byte lines; so does every model in this repository.
+const LineShift = 6
+
+// LineSize is the cache-line size in bytes.
+const LineSize = 1 << LineShift
+
+// LineAddr is a cache-line address: a byte address shifted right by
+// LineShift. All write combining happens at this granularity, exactly as in
+// Atlas and the paper's software cache.
+type LineAddr uint64
+
+// LineOf converts a byte address to its cache-line address.
+func LineOf(byteAddr uint64) LineAddr { return LineAddr(byteAddr >> LineShift) }
+
+// ByteAddr returns the first byte address covered by the line.
+func (l LineAddr) ByteAddr() uint64 { return uint64(l) << LineShift }
+
+// LinesSpanned reports how many cache lines the byte range [addr,
+// addr+size) touches. A zero-size write touches no lines.
+func LinesSpanned(addr, size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	first := addr >> LineShift
+	last := (addr + size - 1) >> LineShift
+	return int(last - first + 1)
+}
+
+// Kind identifies a trace event.
+type Kind uint8
+
+// Event kinds. A store carries a line address; FASE begin/end events mark
+// outermost failure-atomic section boundaries on one thread.
+const (
+	KindStore Kind = iota
+	KindFASEBegin
+	KindFASEEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStore:
+		return "store"
+	case KindFASEBegin:
+		return "fase-begin"
+	case KindFASEEnd:
+		return "fase-end"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one element of a global trace.
+type Event struct {
+	Kind   Kind
+	Thread int32
+	Line   LineAddr
+}
+
+// ThreadSeq is one thread's persistent-write history. Writes are grouped
+// into FASEs by Bounds: FASE i covers Writes[start:Bounds[i]] where start is
+// Bounds[i-1] (or 0 for i == 0). A well-formed sequence has every write
+// inside exactly one FASE; runtimes convert stray out-of-FASE stores into
+// singleton FASEs before building a ThreadSeq.
+type ThreadSeq struct {
+	Thread int32
+	Writes []LineAddr
+	Bounds []int
+}
+
+// NumFASEs returns the number of failure-atomic sections in the sequence.
+func (s *ThreadSeq) NumFASEs() int { return len(s.Bounds) }
+
+// NumWrites returns the number of persistent stores in the sequence.
+func (s *ThreadSeq) NumWrites() int { return len(s.Writes) }
+
+// FASE returns the i-th section's writes (a sub-slice, not a copy).
+func (s *ThreadSeq) FASE(i int) []LineAddr {
+	start := 0
+	if i > 0 {
+		start = s.Bounds[i-1]
+	}
+	return s.Writes[start:s.Bounds[i]]
+}
+
+// Validate checks structural invariants: bounds strictly increasing, final
+// bound equal to the write count, and no empty trailing region.
+func (s *ThreadSeq) Validate() error {
+	prev := 0
+	for i, b := range s.Bounds {
+		if b < prev {
+			return fmt.Errorf("trace: bound %d = %d precedes previous bound %d", i, b, prev)
+		}
+		if b > len(s.Writes) {
+			return fmt.Errorf("trace: bound %d = %d exceeds write count %d", i, b, len(s.Writes))
+		}
+		prev = b
+	}
+	if len(s.Bounds) > 0 && s.Bounds[len(s.Bounds)-1] != len(s.Writes) {
+		return fmt.Errorf("trace: final bound %d != write count %d", s.Bounds[len(s.Bounds)-1], len(s.Writes))
+	}
+	if len(s.Bounds) == 0 && len(s.Writes) > 0 {
+		return fmt.Errorf("trace: %d writes outside any FASE", len(s.Writes))
+	}
+	return nil
+}
+
+// Builder incrementally constructs a ThreadSeq from runtime events,
+// tolerating nested FASEs (only the outermost pair delimits a section, as
+// in Atlas) and stores outside any FASE (each becomes a singleton section).
+type Builder struct {
+	seq   ThreadSeq
+	depth int
+}
+
+// NewBuilder returns a Builder for the given thread id.
+func NewBuilder(thread int32) *Builder {
+	return &Builder{seq: ThreadSeq{Thread: thread}}
+}
+
+// Begin enters a FASE (possibly nested).
+func (b *Builder) Begin() { b.depth++ }
+
+// End leaves a FASE. Leaving the outermost level seals the current section.
+// End without a matching Begin is a no-op, mirroring Atlas's tolerance of
+// unlock-without-lock in instrumented code.
+func (b *Builder) End() {
+	if b.depth == 0 {
+		return
+	}
+	b.depth--
+	if b.depth == 0 {
+		b.seal()
+	}
+}
+
+// Store records one persistent store to the given line. A store outside any
+// FASE is recorded as its own singleton section.
+func (b *Builder) Store(line LineAddr) {
+	b.seq.Writes = append(b.seq.Writes, line)
+	if b.depth == 0 {
+		b.seal()
+	}
+}
+
+// StoreRange records a store of size bytes at byte address addr, emitting
+// one event per cache line spanned.
+func (b *Builder) StoreRange(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := addr >> LineShift
+	last := (addr + size - 1) >> LineShift
+	for l := first; l <= last; l++ {
+		b.Store(LineAddr(l))
+	}
+}
+
+func (b *Builder) seal() {
+	n := len(b.seq.Writes)
+	prev := 0
+	if len(b.seq.Bounds) > 0 {
+		prev = b.seq.Bounds[len(b.seq.Bounds)-1]
+	}
+	if prev == n {
+		return // empty section: skip
+	}
+	b.seq.Bounds = append(b.seq.Bounds, n)
+}
+
+// Depth reports the current FASE nesting depth.
+func (b *Builder) Depth() int { return b.depth }
+
+// Finish seals any open section and returns the completed sequence. The
+// builder must not be reused afterwards.
+func (b *Builder) Finish() *ThreadSeq {
+	if b.depth > 0 {
+		b.depth = 0
+		b.seal()
+	}
+	s := b.seq
+	return &s
+}
+
+// Trace is a complete multi-thread persistent-write trace.
+type Trace struct {
+	Threads []*ThreadSeq
+}
+
+// NewTrace bundles per-thread sequences into a Trace, sorted by thread id.
+func NewTrace(seqs ...*ThreadSeq) *Trace {
+	t := &Trace{Threads: append([]*ThreadSeq(nil), seqs...)}
+	sort.Slice(t.Threads, func(i, j int) bool { return t.Threads[i].Thread < t.Threads[j].Thread })
+	return t
+}
+
+// Validate validates every thread sequence.
+func (t *Trace) Validate() error {
+	for _, s := range t.Threads {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("thread %d: %w", s.Thread, err)
+		}
+	}
+	return nil
+}
+
+// Stats summarises a trace: the "benchmark statistics" columns of the
+// paper's Table III.
+type Stats struct {
+	Threads      int
+	TotalWrites  int64 // persistent stores
+	TotalFASEs   int64
+	DistinctLine int64 // distinct lines across the whole trace
+	// LAFlushes is Σ over FASEs of distinct lines written in that FASE:
+	// the lazy policy's flush count and the paper's lower bound ("LA
+	// reaches the lowest possible").
+	LAFlushes int64
+}
+
+// ComputeStats scans the trace once and returns its statistics.
+func ComputeStats(t *Trace) Stats {
+	var st Stats
+	st.Threads = len(t.Threads)
+	global := make(map[LineAddr]struct{})
+	seen := make(map[LineAddr]struct{})
+	for _, s := range t.Threads {
+		st.TotalWrites += int64(len(s.Writes))
+		st.TotalFASEs += int64(s.NumFASEs())
+		for i := 0; i < s.NumFASEs(); i++ {
+			clear(seen)
+			for _, w := range s.FASE(i) {
+				global[w] = struct{}{}
+				if _, ok := seen[w]; !ok {
+					seen[w] = struct{}{}
+					st.LAFlushes++
+				}
+			}
+		}
+	}
+	st.DistinctLine = int64(len(global))
+	return st
+}
+
+// Events flattens the trace into a single event stream, round-robin
+// interleaving threads FASE by FASE. The interleaving is deterministic; it
+// exists for encoding and for tests, not to model real scheduling (software
+// caches are per thread and never interact, so policy results are
+// interleaving-independent).
+func (t *Trace) Events() []Event {
+	var out []Event
+	idx := make([]int, len(t.Threads))
+	for {
+		progress := false
+		for ti, s := range t.Threads {
+			if idx[ti] >= s.NumFASEs() {
+				continue
+			}
+			progress = true
+			out = append(out, Event{Kind: KindFASEBegin, Thread: s.Thread})
+			for _, w := range s.FASE(idx[ti]) {
+				out = append(out, Event{Kind: KindStore, Thread: s.Thread, Line: w})
+			}
+			out = append(out, Event{Kind: KindFASEEnd, Thread: s.Thread})
+			idx[ti]++
+		}
+		if !progress {
+			break
+		}
+	}
+	return out
+}
+
+// FromEvents reconstructs a Trace from a flat event stream.
+func FromEvents(events []Event) *Trace {
+	builders := make(map[int32]*Builder)
+	var order []int32
+	get := func(th int32) *Builder {
+		b, ok := builders[th]
+		if !ok {
+			b = NewBuilder(th)
+			builders[th] = b
+			order = append(order, th)
+		}
+		return b
+	}
+	for _, ev := range events {
+		b := get(ev.Thread)
+		switch ev.Kind {
+		case KindFASEBegin:
+			b.Begin()
+		case KindFASEEnd:
+			b.End()
+		case KindStore:
+			b.Store(ev.Line)
+		}
+	}
+	seqs := make([]*ThreadSeq, 0, len(order))
+	for _, th := range order {
+		seqs = append(seqs, builders[th].Finish())
+	}
+	return NewTrace(seqs...)
+}

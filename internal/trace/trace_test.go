@@ -1,0 +1,411 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want LineAddr
+	}{
+		{0, 0}, {1, 0}, {63, 0}, {64, 1}, {65, 1}, {127, 1}, {128, 2},
+		{1 << 20, 1 << 14},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.want {
+			t.Errorf("LineOf(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	for _, a := range []uint64{0, 64, 4096, 1 << 30} {
+		if got := LineOf(a).ByteAddr(); got != a {
+			t.Errorf("ByteAddr(LineOf(%d)) = %d", a, got)
+		}
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	cases := []struct {
+		addr, size uint64
+		want       int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{63, 1, 1},
+		{60, 8, 2},
+		{0, 128, 2},
+		{10, 128, 3},
+	}
+	for _, c := range cases {
+		if got := LinesSpanned(c.addr, c.size); got != c.want {
+			t.Errorf("LinesSpanned(%d,%d) = %d, want %d", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(0)
+	b.Begin()
+	b.Store(1)
+	b.Store(2)
+	b.End()
+	b.Begin()
+	b.Store(3)
+	b.End()
+	s := b.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFASEs() != 2 || s.NumWrites() != 3 {
+		t.Fatalf("got %d FASEs, %d writes", s.NumFASEs(), s.NumWrites())
+	}
+	if got := s.FASE(0); !reflect.DeepEqual(got, []LineAddr{1, 2}) {
+		t.Errorf("FASE(0) = %v", got)
+	}
+	if got := s.FASE(1); !reflect.DeepEqual(got, []LineAddr{3}) {
+		t.Errorf("FASE(1) = %v", got)
+	}
+}
+
+func TestBuilderNestedFASE(t *testing.T) {
+	b := NewBuilder(0)
+	b.Begin()
+	b.Store(1)
+	b.Begin() // nested: must not split the section
+	b.Store(2)
+	b.End()
+	b.Store(3)
+	b.End()
+	s := b.Finish()
+	if s.NumFASEs() != 1 {
+		t.Fatalf("nested FASE split the section: %d FASEs", s.NumFASEs())
+	}
+	if len(s.FASE(0)) != 3 {
+		t.Fatalf("FASE(0) has %d writes", len(s.FASE(0)))
+	}
+}
+
+func TestBuilderOutsideFASESingleton(t *testing.T) {
+	b := NewBuilder(0)
+	b.Store(7) // outside any FASE
+	b.Store(7)
+	b.Begin()
+	b.Store(1)
+	b.End()
+	s := b.Finish()
+	if s.NumFASEs() != 3 {
+		t.Fatalf("want 3 sections (2 singletons + 1 FASE), got %d", s.NumFASEs())
+	}
+	if len(s.FASE(0)) != 1 || len(s.FASE(1)) != 1 {
+		t.Errorf("out-of-FASE stores not singleton sections: %v", s.Bounds)
+	}
+}
+
+func TestBuilderUnmatchedEnd(t *testing.T) {
+	b := NewBuilder(0)
+	b.End() // no-op
+	b.Begin()
+	b.Store(1)
+	b.End()
+	s := b.Finish()
+	if s.NumFASEs() != 1 || s.NumWrites() != 1 {
+		t.Fatalf("unexpected: %+v", s)
+	}
+}
+
+func TestBuilderUnclosedFASESealedByFinish(t *testing.T) {
+	b := NewBuilder(0)
+	b.Begin()
+	b.Store(1)
+	s := b.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFASEs() != 1 {
+		t.Fatalf("Finish did not seal open FASE")
+	}
+}
+
+func TestBuilderEmptyFASESkipped(t *testing.T) {
+	b := NewBuilder(0)
+	b.Begin()
+	b.End() // empty
+	b.Begin()
+	b.Store(1)
+	b.End()
+	s := b.Finish()
+	if s.NumFASEs() != 1 {
+		t.Fatalf("empty FASE recorded: bounds %v", s.Bounds)
+	}
+}
+
+func TestBuilderStoreRange(t *testing.T) {
+	b := NewBuilder(0)
+	b.Begin()
+	b.StoreRange(60, 8) // spans lines 0 and 1
+	b.StoreRange(128, 64)
+	b.StoreRange(0, 0) // no-op
+	b.End()
+	s := b.Finish()
+	want := []LineAddr{0, 1, 2}
+	if !reflect.DeepEqual(s.Writes, want) {
+		t.Fatalf("Writes = %v, want %v", s.Writes, want)
+	}
+}
+
+func TestValidateRejectsBadBounds(t *testing.T) {
+	bad := []*ThreadSeq{
+		{Writes: []LineAddr{1, 2}, Bounds: []int{2, 1}},
+		{Writes: []LineAddr{1}, Bounds: []int{5}},
+		{Writes: []LineAddr{1, 2}, Bounds: []int{1}},
+		{Writes: []LineAddr{1}, Bounds: nil},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid sequence", i)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder(0)
+	b.Begin()
+	b.Store(1)
+	b.Store(1)
+	b.Store(2)
+	b.End()
+	b.Begin()
+	b.Store(1)
+	b.End()
+	tr := NewTrace(b.Finish())
+	st := ComputeStats(tr)
+	if st.TotalWrites != 4 || st.TotalFASEs != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.DistinctLine != 2 {
+		t.Errorf("DistinctLine = %d, want 2", st.DistinctLine)
+	}
+	// FASE 1 dirties {1,2}; FASE 2 dirties {1}: LA flush count 3.
+	if st.LAFlushes != 3 {
+		t.Errorf("LAFlushes = %d, want 3", st.LAFlushes)
+	}
+}
+
+func TestRenameFASEsPaperExample(t *testing.T) {
+	// Trace ab|ab|ab must become abcdef (six distinct ids).
+	b := NewBuilder(0)
+	for i := 0; i < 3; i++ {
+		b.Begin()
+		b.Store(0xa)
+		b.Store(0xb)
+		b.End()
+	}
+	renamed := RenameFASEs(b.Finish())
+	want := []uint64{0, 1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(renamed, want) {
+		t.Fatalf("renamed = %v, want %v", renamed, want)
+	}
+}
+
+func TestRenameFASEsPreservesIntraFASEReuse(t *testing.T) {
+	b := NewBuilder(0)
+	b.Begin()
+	b.Store(0xa)
+	b.Store(0xb)
+	b.Store(0xa) // reuse within FASE must survive renaming
+	b.End()
+	b.Begin()
+	b.Store(0xa) // cross-FASE reuse must be destroyed
+	b.End()
+	renamed := RenameFASEs(b.Finish())
+	want := []uint64{0, 1, 0, 2}
+	if !reflect.DeepEqual(renamed, want) {
+		t.Fatalf("renamed = %v, want %v", renamed, want)
+	}
+}
+
+func TestRenameAllThreadIndependence(t *testing.T) {
+	b0 := NewBuilder(0)
+	b0.Begin()
+	b0.Store(5)
+	b0.End()
+	b1 := NewBuilder(1)
+	b1.Begin()
+	b1.Store(5)
+	b1.End()
+	tr := NewTrace(b0.Finish(), b1.Finish())
+	renamed := RenameAll(tr)
+	if len(renamed) != 2 {
+		t.Fatalf("got %d threads", len(renamed))
+	}
+	// Each thread's namespace starts fresh.
+	if renamed[0][0] != 0 || renamed[1][0] != 0 {
+		t.Errorf("per-thread renaming not independent: %v", renamed)
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(1)), 3, 20, 50)
+	back := FromEvents(tr.Events())
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatalf("event round trip mismatch")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		tr := randomTrace(rng, 1+rng.Intn(4), 1+rng.Intn(30), 1+rng.Intn(80))
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Decode accepted empty input")
+	}
+}
+
+func TestEncodeDecodeEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, NewTrace()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Threads) != 0 {
+		t.Fatalf("expected empty trace, got %d threads", len(back.Threads))
+	}
+}
+
+// Property: encode/decode is an identity on arbitrary well-formed traces.
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64, nThreads, nFASE, nWrites uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 1+int(nThreads)%4, 1+int(nFASE)%20, 1+int(nWrites)%60)
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: renaming never maps two writes in different FASEs to the same
+// id, and maps two writes in the same FASE to the same id iff their lines
+// are equal.
+func TestQuickRenameCorrectness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 1, 1+rng.Intn(10), 1+rng.Intn(60))
+		s := tr.Threads[0]
+		renamed := RenameFASEs(s)
+		if len(renamed) != len(s.Writes) {
+			return false
+		}
+		faseOf := make([]int, len(s.Writes))
+		start := 0
+		for fi, end := range s.Bounds {
+			for i := start; i < end; i++ {
+				faseOf[i] = fi
+			}
+			start = end
+		}
+		for i := range renamed {
+			for j := i + 1; j < len(renamed); j++ {
+				sameFASE := faseOf[i] == faseOf[j]
+				sameLine := s.Writes[i] == s.Writes[j]
+				sameID := renamed[i] == renamed[j]
+				if sameID != (sameFASE && sameLine) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomTrace builds a random well-formed trace for round-trip tests.
+func randomTrace(rng *rand.Rand, threads, fases, writesPerFASE int) *Trace {
+	seqs := make([]*ThreadSeq, 0, threads)
+	for th := 0; th < threads; th++ {
+		b := NewBuilder(int32(th))
+		for f := 0; f < fases; f++ {
+			b.Begin()
+			n := 1 + rng.Intn(writesPerFASE)
+			for w := 0; w < n; w++ {
+				b.Store(LineAddr(rng.Intn(32)))
+			}
+			b.End()
+		}
+		seqs = append(seqs, b.Finish())
+	}
+	return NewTrace(seqs...)
+}
+
+// Decode must reject (not panic on) arbitrary malformed inputs, including
+// truncations of valid traces.
+func TestDecodeRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := randomTrace(rng, 2, 10, 20)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	// Every truncation either errors or (for a prefix that happens to be
+	// a complete encoding) yields a validatable trace.
+	for cut := 0; cut < len(valid); cut += 7 {
+		got, err := Decode(bytes.NewReader(valid[:cut]))
+		if err == nil {
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("cut=%d: decoded invalid trace: %v", cut, verr)
+			}
+		}
+	}
+	// Random mutations must never panic.
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), valid...)
+		for flips := 0; flips < 1+rng.Intn(8); flips++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		if got, err := Decode(bytes.NewReader(mut)); err == nil {
+			_ = got.Validate() // may be invalid; must not panic
+		}
+	}
+}
