@@ -2,6 +2,7 @@
 //
 // Usage:
 //
+//	nvbench -list
 //	nvbench -exp table1|figure2|table2|table3|figure4|figure5|figure6|table4|figure7|figure8|sizes|all
 //	        [-scale 0.00390625] [-threads N] [-seed 42]
 //
@@ -12,19 +13,26 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nvmcache/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, figure2, table2, table3, figure4, figure5, figure6, table4, figure7, figure8, sizes, all)")
+	exp := flag.String("exp", "all", "experiment id (see -list)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
 	scale := flag.Float64("scale", 1.0/256, "workload scale relative to the paper's problem sizes")
 	threads := flag.Int("threads", 1, "thread count for single-run experiments")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	format := flag.String("format", "table", "output format: table or csv")
 	plot := flag.Bool("plot", false, "also render figures as ASCII charts")
 	flag.Parse()
+
+	if *list {
+		listExperiments(os.Stdout)
+		return
+	}
 
 	opt := harness.DefaultRunOptions()
 	opt.Scale = *scale
@@ -33,66 +41,97 @@ func main() {
 
 	if err := run(*exp, opt, *format, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "nvbench:", err)
+		if _, ok := lookup(*exp); !ok && *exp != "all" {
+			listExperiments(os.Stderr)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opt harness.RunOptions, format string, plot bool) error {
-	show := func(t *harness.Table) {
-		if format == "csv" {
-			fmt.Print(t.CSV())
-			return
-		}
-		fmt.Println(t.String())
-	}
-	all := exp == "all"
-	ran := false
+// runCtx carries one invocation's options plus a cache for harness runs
+// shared between experiments (figure5 and figure6 render the same sweep).
+type runCtx struct {
+	opt    harness.RunOptions
+	format string
+	plot   bool
 
-	if all || exp == "table1" {
-		r, err := harness.EagerSlowdown(opt)
-		if err != nil {
-			return err
-		}
-		show(r.Table())
-		ran = true
+	par56 *harness.ParallelResult
+}
+
+func (c *runCtx) show(t *harness.Table) {
+	if c.format == "csv" {
+		fmt.Print(t.CSV())
+		return
 	}
-	if all || exp == "figure2" {
-		r, err := harness.MRCOf("water-spatial", opt)
+	fmt.Println(t.String())
+}
+
+func (c *runCtx) parallel56() (*harness.ParallelResult, error) {
+	if c.par56 == nil {
+		r, err := harness.ParallelFigures56(c.opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		c.par56 = r
+	}
+	return c.par56, nil
+}
+
+// experiment is one reproducible artifact of the paper.
+type experiment struct {
+	id   string
+	desc string
+	run  func(c *runCtx) error
+}
+
+// experiments is the registry, in the paper's presentation order. "all"
+// runs them top to bottom.
+var experiments = []experiment{
+	{"table1", "Table I: slowdown of eager persistence vs transient runs", func(c *runCtx) error {
+		r, err := harness.EagerSlowdown(c.opt)
 		if err != nil {
 			return err
 		}
-		if plot {
+		c.show(r.Table())
+		return nil
+	}},
+	{"figure2", "Figure 2: miss-ratio curve of water-spatial and the chosen cache size", func(c *runCtx) error {
+		r, err := harness.MRCOf("water-spatial", c.opt)
+		if err != nil {
+			return err
+		}
+		if c.plot {
 			fmt.Println(harness.PlotCurve(
 				fmt.Sprintf("Figure 2: MRC of %s (chosen %d)", r.Program, r.Chosen),
 				[]string{"miss ratio"}, [][]float64{r.Miss}, 12))
-		} else {
-			show(r.Table())
+			return nil
 		}
-		ran = true
-	}
-	if all || exp == "table2" {
-		r, err := harness.MDBTable2(opt)
+		c.show(r.Table())
+		return nil
+	}},
+	{"table2", "Table II: mdb B+-tree insert throughput under each policy", func(c *runCtx) error {
+		r, err := harness.MDBTable2(c.opt)
 		if err != nil {
 			return err
 		}
-		show(r.Table())
-		ran = true
-	}
-	if all || exp == "table3" {
-		r, err := harness.FlushRatiosTable3(opt)
+		c.show(r.Table())
+		return nil
+	}},
+	{"table3", "Table III: flush ratios of all six policies over twelve workloads", func(c *runCtx) error {
+		r, err := harness.FlushRatiosTable3(c.opt)
 		if err != nil {
 			return err
 		}
-		show(r.Table())
-		ran = true
-	}
-	if all || exp == "figure4" {
-		r, err := harness.SpeedupsFigure4(opt)
+		c.show(r.Table())
+		return nil
+	}},
+	{"figure4", "Figure 4: single-thread speedups of each policy over eager", func(c *runCtx) error {
+		r, err := harness.SpeedupsFigure4(c.opt)
 		if err != nil {
 			return err
 		}
-		show(r.Table())
-		if plot {
+		c.show(r.Table())
+		if c.plot {
 			labels := make([]string, len(r.Rows))
 			vals := make([]float64, len(r.Rows))
 			for i, row := range r.Rows {
@@ -100,65 +139,98 @@ func run(exp string, opt harness.RunOptions, format string, plot bool) error {
 			}
 			fmt.Println(harness.PlotBars("Figure 4: SC speedup over ER", labels, vals, "x"))
 		}
-		ran = true
-	}
-	if all || exp == "figure5" || exp == "figure6" {
-		r, err := harness.ParallelFigures56(opt, nil)
+		return nil
+	}},
+	{"figure5", "Figure 5: SPLASH2 thread-sweep speedups (software cache)", func(c *runCtx) error {
+		r, err := c.parallel56()
 		if err != nil {
 			return err
 		}
-		if all || exp == "figure5" {
-			show(r.Figure5Table())
-		}
-		if all || exp == "figure6" {
-			show(r.Figure6Table())
-		}
-		ran = true
-	}
-	if all || exp == "table4" {
-		r, err := harness.WaterSpatialTable4(opt, nil)
+		c.show(r.Figure5Table())
+		return nil
+	}},
+	{"figure6", "Figure 6: SPLASH2 thread-sweep flush ratios", func(c *runCtx) error {
+		r, err := c.parallel56()
 		if err != nil {
 			return err
 		}
-		show(r.Table())
-		ran = true
-	}
-	if all || exp == "figure7" {
+		c.show(r.Figure6Table())
+		return nil
+	}},
+	{"table4", "Table IV: water-spatial under the L1 cache simulator, by thread count", func(c *runCtx) error {
+		r, err := harness.WaterSpatialTable4(c.opt, nil)
+		if err != nil {
+			return err
+		}
+		c.show(r.Table())
+		return nil
+	}},
+	{"figure7", "Figure 7: MRC accuracy — actual vs full-trace vs sampled, per program", func(c *runCtx) error {
 		for _, name := range harness.Figure7Programs {
-			r, err := harness.MRCAccuracyFigure7(name, opt)
+			r, err := harness.MRCAccuracyFigure7(name, c.opt)
 			if err != nil {
 				return err
 			}
-			if plot {
+			if c.plot {
 				fmt.Println(harness.PlotCurve(
 					fmt.Sprintf("Figure 7: %s (actual/full/sampled select %d/%d/%d)",
 						r.Program, r.ChosenActual, r.ChosenFull, r.ChosenSampled),
 					[]string{"actual", "full-trace", "sampled"},
 					[][]float64{r.Actual, r.Full, r.Sampled}, 12))
-			} else {
-				show(r.Table())
+				continue
+			}
+			c.show(r.Table())
+		}
+		return nil
+	}},
+	{"figure8", "Figure 8: runtime overhead of online cache-size selection", func(c *runCtx) error {
+		r, err := harness.OnlineOverheadFigure8(c.opt, nil)
+		if err != nil {
+			return err
+		}
+		c.show(r.Table())
+		return nil
+	}},
+	{"sizes", "Section IV-G: cache sizes the offline selection picks per program", func(c *runCtx) error {
+		r, err := harness.SelectedSizes(c.opt)
+		if err != nil {
+			return err
+		}
+		c.show(r.Table())
+		return nil
+	}},
+}
+
+func lookup(id string) (experiment, bool) {
+	for _, e := range experiments {
+		if e.id == id {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
+
+func listExperiments(w io.Writer) {
+	fmt.Fprintln(w, "experiments:")
+	for _, e := range experiments {
+		fmt.Fprintf(w, "  %-8s  %s\n", e.id, e.desc)
+	}
+	fmt.Fprintf(w, "  %-8s  %s\n", "all", "every experiment above, in order")
+}
+
+func run(exp string, opt harness.RunOptions, format string, plot bool) error {
+	c := &runCtx{opt: opt, format: format, plot: plot}
+	if exp == "all" {
+		for _, e := range experiments {
+			if err := e.run(c); err != nil {
+				return fmt.Errorf("%s: %w", e.id, err)
 			}
 		}
-		ran = true
+		return nil
 	}
-	if all || exp == "figure8" {
-		r, err := harness.OnlineOverheadFigure8(opt, nil)
-		if err != nil {
-			return err
-		}
-		show(r.Table())
-		ran = true
-	}
-	if all || exp == "sizes" {
-		r, err := harness.SelectedSizes(opt)
-		if err != nil {
-			return err
-		}
-		show(r.Table())
-		ran = true
-	}
-	if !ran {
+	e, ok := lookup(exp)
+	if !ok {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
-	return nil
+	return e.run(c)
 }

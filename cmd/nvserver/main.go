@@ -1,0 +1,102 @@
+// Command nvserver serves the sharded, group-committing durable KV engine
+// (internal/kv) over TCP, on an emulated NVRAM heap driven by the paper's
+// adaptive persistence runtime. Run it plain to get a server, or with
+// -selftest to run the end-to-end crash/recovery and group-commit
+// efficiency check (see selftest.go).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/kv"
+	"nvmcache/internal/pmem"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		shards   = flag.Int("shards", 4, "independent shards (one tree + writer goroutine each)")
+		batch    = flag.Int("batch", 64, "max operations per group commit (1 = one FASE per op)")
+		delay    = flag.Duration("delay", 2*time.Millisecond, "max time a batch waits to fill")
+		pool     = flag.Int("pool-pages", 1<<13, "per-shard B+-tree page pool capacity")
+		policy   = flag.String("policy", "SC", "persistence policy: ER, LA, AT, SC, SC-offline, BEST")
+		selftest = flag.Bool("selftest", false, "run the crash/recovery self-test and exit")
+		clients  = flag.Int("clients", 8, "self-test: concurrent closed-loop clients")
+		ops      = flag.Int("ops", 2000, "self-test: PUT operations per client")
+		seed     = flag.Uint64("seed", 1, "self-test: value-mixing seed")
+	)
+	flag.Parse()
+
+	opts := kv.DefaultOptions()
+	opts.Shards = *shards
+	opts.MaxBatch = *batch
+	opts.MaxDelay = *delay
+	opts.PoolPages = *pool
+	pk, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvserver:", err)
+		os.Exit(2)
+	}
+	opts.Policy = pk
+
+	if *selftest {
+		if err := runSelfTest(opts, *clients, *ops, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "selftest: FAIL:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(*addr, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "nvserver:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(name string) (core.PolicyKind, error) {
+	for _, k := range core.AllPolicyKinds() {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q (want ER, LA, AT, SC, SC-offline or BEST)", name)
+}
+
+// serve runs the server until SIGINT/SIGTERM, then shuts down gracefully:
+// in-flight batches drain, commit and ack before the store closes.
+func serve(addr string, opts kv.Options) error {
+	h := pmem.New(int(kv.RecommendedHeapBytes(opts)))
+	st, err := kv.Open(h, opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := newServer(st, ln)
+	fmt.Printf("nvserver: serving on %s (shards=%d batch<=%d delay<=%v policy=%v heap=%dKiB)\n",
+		ln.Addr(), opts.Shards, opts.MaxBatch, opts.MaxDelay, opts.Policy, h.Size()/1024)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-sig
+		fmt.Println("nvserver: shutting down (draining pending batches)")
+		done <- srv.shutdown()
+	}()
+	srv.serve()
+	err = <-done
+	for _, s := range st.Stats() {
+		fmt.Println(s)
+	}
+	return err
+}

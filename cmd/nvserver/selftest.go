@@ -1,0 +1,347 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmcache/internal/kv"
+	"nvmcache/internal/pmem"
+)
+
+// runSelfTest exercises the whole service contract end to end, over real
+// TCP connections:
+//
+// Phase A opens a group-committing store, runs `clients` concurrent
+// closed-loop clients issuing PUTs through the line protocol, and crashes
+// the NVRAM heap once about half the workload has been acked. It then
+// recovers the heap, serves it again, and verifies through the protocol
+// that every acked write survived and every write that was refused with the
+// crash error is absent (the mid-FASE batch rolled back, not half-applied).
+// It also checks snapshot consistency: views pinned on the recovered store
+// stay frozen while new writes commit over them.
+//
+// Phase B replays the same workload on a fresh heap with group commit
+// disabled (batch=1, one FASE per operation) and compares flush ratios:
+// group commit must flush strictly less per committed operation, or the
+// whole point of the batching writer is lost and the self-test fails.
+func runSelfTest(opts kv.Options, clients, ops int, seed uint64) error {
+	if opts.MaxBatch <= 1 {
+		return fmt.Errorf("-selftest needs -batch > 1 to compare against the per-op baseline")
+	}
+	fmt.Printf("selftest: phase A: %d clients x %d PUTs, group commit (batch<=%d, delay<=%v), crash at ~50%% acked\n",
+		clients, ops, opts.MaxBatch, opts.MaxDelay)
+
+	// The failure is armed at the 50% mark and strikes *inside* the next
+	// commit FASE — after the batch's stores, before the commit — so the
+	// recovery below must actually roll an interrupted batch back, not just
+	// reattach a cleanly parked heap.
+	var armed atomic.Bool
+	opts.CrashBeforeCommit = func(shard, batch, size int) bool { return armed.Load() }
+	h := pmem.New(int(kv.RecommendedHeapBytes(opts)))
+	st, err := kv.Open(h, opts)
+	if err != nil {
+		return err
+	}
+	srv, err := listen(st)
+	if err != nil {
+		return err
+	}
+
+	acked := make(map[uint64]uint64, clients*ops) // OK reply: must survive the crash
+	nacked := make(map[uint64]struct{})           // crash-refused: must be rolled back
+	var mu sync.Mutex
+	var ackedN atomic.Int64
+
+	// The saboteur: pull the plug once half the workload is durable.
+	go func() {
+		target := int64(clients * ops / 2)
+		for ackedN.Load() < target {
+			time.Sleep(time.Millisecond)
+		}
+		armed.Store(true)
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c uint64) {
+			defer wg.Done()
+			cl, err := dialClient(srv.ln.Addr().String())
+			if err != nil {
+				return
+			}
+			defer cl.close()
+			for i := uint64(0); i < uint64(ops); i++ {
+				k := c<<32 | i
+				v := mix(k, seed)
+				reply, err := cl.do(fmt.Sprintf("PUT %d %d", k, v))
+				if err != nil {
+					return // connection torn down: op outcome unknown, claim nothing
+				}
+				mu.Lock()
+				switch {
+				case reply == "OK":
+					acked[k] = v
+					ackedN.Add(1)
+				case strings.Contains(reply, "crashed"):
+					nacked[k] = struct{}{}
+				}
+				mu.Unlock()
+				if reply != "OK" {
+					return
+				}
+			}
+		}(uint64(c))
+	}
+	wg.Wait()
+	select {
+	case <-st.Crashed():
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("crash never took effect")
+	}
+	armed.Store(false) // disarm: the recovered store must not crash again
+	srv.shutdown()     // network teardown; the crashed store itself reports ErrCrashed
+	statsA := kv.Totals(st.Stats())
+	fmt.Printf("selftest: crashed with %d acked, %d crash-refused, %d committed batches (avg %.2f ops)\n",
+		len(acked), len(nacked), statsA.Batches, statsA.AvgBatch())
+	if len(acked) == 0 {
+		return fmt.Errorf("no writes acked before the crash")
+	}
+
+	// Recover the same heap and serve it again.
+	st2, rep, err := kv.Recover(h, opts)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	fmt.Printf("selftest: recovered: %d FASEs rolled back, %d words restored\n",
+		rep.FASEsRolledBack, rep.WordsRestored)
+	if rep.FASEsRolledBack == 0 {
+		return fmt.Errorf("the injected mid-FASE crash left nothing to roll back")
+	}
+	if err := st2.CheckInvariants(); err != nil {
+		return fmt.Errorf("recovered tree corrupt: %w", err)
+	}
+	srv2, err := listen(st2)
+	if err != nil {
+		return err
+	}
+
+	// Verify through the protocol, with the same client parallelism.
+	type kvPair struct{ k, v uint64 }
+	work := make(chan kvPair, len(acked))
+	for k, v := range acked {
+		work <- kvPair{k, v}
+	}
+	close(work)
+	lost := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := dialClient(srv2.ln.Addr().String())
+			if err != nil {
+				lost <- err
+				return
+			}
+			defer cl.close()
+			for p := range work {
+				reply, err := cl.do(fmt.Sprintf("GET %d", p.k))
+				if err != nil {
+					lost <- err
+					return
+				}
+				if want := fmt.Sprintf("VAL %d", p.v); reply != want {
+					lost <- fmt.Errorf("acked write %d lost: got %q, want %q", p.k, reply, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-lost:
+		return err
+	default:
+	}
+	cl, err := dialClient(srv2.ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	for k := range nacked {
+		reply, err := cl.do(fmt.Sprintf("GET %d", k))
+		if err != nil {
+			return err
+		}
+		if reply != "NIL" {
+			return fmt.Errorf("crash-refused write %d is durable (%q): half-committed batch", k, reply)
+		}
+	}
+	fmt.Printf("selftest: zero acked-write loss (%d verified), %d refused writes all rolled back\n",
+		len(acked), len(nacked))
+
+	// Snapshot consistency: pin every shard's view, commit new writes over
+	// them, and check the pinned views did not move.
+	snaps := make([]*kv.Snapshot, st2.Shards())
+	for i := range snaps {
+		if snaps[i], err = st2.Snapshot(i); err != nil {
+			return err
+		}
+	}
+	sample := make([]kvPair, 0, 256)
+	for k, v := range acked {
+		sample = append(sample, kvPair{k, v})
+		if len(sample) == cap(sample) {
+			break
+		}
+	}
+	for i := uint64(0); i < 512; i++ {
+		k := uint64(1)<<48 | i // disjoint from client keys
+		if _, err := cl.do(fmt.Sprintf("PUT %d %d", k, i)); err != nil {
+			return err
+		}
+	}
+	for _, p := range sample {
+		sn := snaps[st2.ShardFor(p.k)]
+		if v, ok := sn.Get(p.k); !ok || v != p.v {
+			return fmt.Errorf("snapshot of shard %d moved under concurrent commits: key %d = %d,%v",
+				st2.ShardFor(p.k), p.k, v, ok)
+		}
+	}
+	for _, sn := range snaps {
+		sn.Release()
+	}
+	cl.close()
+	if err := srv2.shutdown(); err != nil {
+		return fmt.Errorf("graceful shutdown after recovery: %w", err)
+	}
+	fmt.Printf("selftest: snapshots stayed consistent under %d concurrent commits\n", 512)
+
+	// Phase B: identical workload, fresh heap, one FASE per operation.
+	fmt.Printf("selftest: phase B: per-op-commit baseline (batch=1), same workload, no crash\n")
+	base := opts
+	base.MaxBatch = 1
+	hB := pmem.New(int(kv.RecommendedHeapBytes(base)))
+	stB, err := kv.Open(hB, base)
+	if err != nil {
+		return err
+	}
+	srvB, err := listen(stB)
+	if err != nil {
+		return err
+	}
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c uint64) {
+			defer wg.Done()
+			cl, err := dialClient(srvB.ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.close()
+			for i := uint64(0); i < uint64(ops); i++ {
+				k := c<<32 | i
+				if reply, err := cl.do(fmt.Sprintf("PUT %d %d", k, mix(k, seed))); err != nil || reply != "OK" {
+					errs <- fmt.Errorf("baseline PUT %d: %q, %v", k, reply, err)
+					return
+				}
+			}
+		}(uint64(c))
+	}
+	wg.Wait()
+	if err := srvB.shutdown(); err != nil {
+		return err
+	}
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	statsB := kv.Totals(stB.Stats())
+
+	groupRatio, baseRatio := statsA.FlushRatio(), statsB.FlushRatio()
+	fmt.Printf("selftest: flush ratio: group commit %.3f (avg batch %.2f) vs per-op %.3f (%.1f%% fewer flushes/op)\n",
+		groupRatio, statsA.AvgBatch(), baseRatio, 100*(1-groupRatio/baseRatio))
+	if statsA.BatchedOps == 0 || statsB.BatchedOps == 0 {
+		return fmt.Errorf("empty phase: group committed %d ops, baseline %d", statsA.BatchedOps, statsB.BatchedOps)
+	}
+	if groupRatio >= baseRatio {
+		return fmt.Errorf("group commit did not reduce flushes per op: %.3f >= %.3f", groupRatio, baseRatio)
+	}
+	fmt.Println("selftest: PASS")
+	return nil
+}
+
+// mix derives a value from a key and the seed (splitmix-style, so verify
+// can recompute it).
+func mix(k, seed uint64) uint64 {
+	x := k + seed*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}
+
+// listen starts a server for st on an ephemeral loopback port.
+func listen(st *kv.Store) (*server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := newServer(st, ln)
+	go srv.serve()
+	return srv, nil
+}
+
+// client is a blocking line-protocol client.
+type client struct {
+	c net.Conn
+	r *bufio.Reader
+}
+
+func dialClient(addr string) (*client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &client{c: c, r: bufio.NewReader(c)}, nil
+}
+
+// do sends one request line and reads the one-line reply.
+func (cl *client) do(cmd string) (string, error) {
+	if _, err := fmt.Fprintln(cl.c, cmd); err != nil {
+		return "", err
+	}
+	line, err := cl.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// doMulti sends one request and reads reply lines until the terminator.
+func (cl *client) doMulti(cmd, end string) ([]string, error) {
+	if _, err := fmt.Fprintln(cl.c, cmd); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		line, err := cl.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == end {
+			return out, nil
+		}
+		out = append(out, line)
+	}
+}
+
+func (cl *client) close() { cl.c.Close() }

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nvmcache/internal/kv"
+)
+
+// server speaks the line protocol over TCP on top of a kv.Store. One
+// goroutine accepts; every connection gets its own handler goroutine, so a
+// slow client never stalls the others — concurrency converges in the
+// store's shard queues, where group commit batches it.
+//
+// Protocol (one request line, one reply line, decimal uint64 operands):
+//
+//	PUT <k> <v>  ->  OK
+//	GET <k>      ->  VAL <v> | NIL
+//	DEL <k>      ->  OK | NIL
+//	STATS        ->  one line per shard, a total line, then END
+//	QUIT         ->  BYE (server closes the connection)
+//	anything else -> ERR <message>
+//
+// An OK reply to PUT/DEL is an ack-after-flush: the mutation's FASE has
+// committed and drained, so it survives any later power failure.
+type server struct {
+	st     *kv.Store
+	ln     net.Listener
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+func newServer(st *kv.Store, ln net.Listener) *server {
+	return &server{st: st, ln: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// serve accepts until the listener closes.
+func (s *server) serve() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(c)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// shutdown stops accepting, unblocks every connection reader, waits for the
+// handlers to finish, then closes the store gracefully: requests already in
+// the shard queues are still batched, committed, flushed and acked before
+// Close returns. On a crashed store the drain is impossible and Close
+// reports ErrCrashed; shutdown passes that through.
+func (s *server) shutdown() error {
+	s.closed.Store(true)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return s.st.Close()
+}
+
+func (s *server) handle(c net.Conn) {
+	defer c.Close()
+	sc := bufio.NewScanner(c)
+	w := bufio.NewWriter(c)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		quit := s.command(w, fields)
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// command executes one request line and buffers the reply; it reports
+// whether the connection should close.
+func (s *server) command(w *bufio.Writer, f []string) (quit bool) {
+	switch strings.ToUpper(f[0]) {
+	case "PUT":
+		k, v, err := parse2(f)
+		if err != nil {
+			fmt.Fprintf(w, "ERR usage: PUT <key> <value> (%v)\n", err)
+			return false
+		}
+		if err := s.st.Put(k, v); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintln(w, "OK")
+	case "GET":
+		k, err := parse1(f)
+		if err != nil {
+			fmt.Fprintf(w, "ERR usage: GET <key> (%v)\n", err)
+			return false
+		}
+		v, ok, err := s.st.Get(k)
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "ERR %v\n", err)
+		case ok:
+			fmt.Fprintf(w, "VAL %d\n", v)
+		default:
+			fmt.Fprintln(w, "NIL")
+		}
+	case "DEL":
+		k, err := parse1(f)
+		if err != nil {
+			fmt.Fprintf(w, "ERR usage: DEL <key> (%v)\n", err)
+			return false
+		}
+		found, err := s.st.Delete(k)
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "ERR %v\n", err)
+		case found:
+			fmt.Fprintln(w, "OK")
+		default:
+			fmt.Fprintln(w, "NIL")
+		}
+	case "STATS":
+		stats := s.st.Stats()
+		for _, st := range stats {
+			fmt.Fprintln(w, st)
+		}
+		tot := kv.Totals(stats)
+		fmt.Fprintf(w, "total ops=%d gets=%d batches=%d avg_batch=%.2f flushes=%d flush_ratio=%.3f commit_p99=%.0fcyc\n",
+			tot.BatchedOps, tot.Gets, tot.Batches, tot.AvgBatch(), tot.Flushes(), tot.FlushRatio(), tot.CommitP99)
+		fmt.Fprintln(w, "END")
+	case "QUIT":
+		fmt.Fprintln(w, "BYE")
+		return true
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", f[0])
+	}
+	return false
+}
+
+func parse1(f []string) (uint64, error) {
+	if len(f) != 2 {
+		return 0, fmt.Errorf("want 1 operand, got %d", len(f)-1)
+	}
+	return strconv.ParseUint(f[1], 10, 64)
+}
+
+func parse2(f []string) (uint64, uint64, error) {
+	if len(f) != 3 {
+		return 0, 0, fmt.Errorf("want 2 operands, got %d", len(f)-1)
+	}
+	k, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := strconv.ParseUint(f[2], 10, 64)
+	return k, v, err
+}

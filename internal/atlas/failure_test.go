@@ -200,3 +200,89 @@ func TestDisableTraceThreads(t *testing.T) {
 		t.Fatalf("untraced runtime produced %d sequences", got)
 	}
 }
+
+func TestFASEAbortRollsBack(t *testing.T) {
+	h := pmem.New(1 << 20)
+	rt := NewRuntime(h, DefaultOptions())
+	th, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := h.AllocLines(64 * 8)
+	th.FASEBegin()
+	for i := uint64(0); i < 16; i++ {
+		th.Store64(base+i*8, i+1)
+	}
+	th.FASEEnd()
+
+	th.FASEBegin()
+	for i := uint64(0); i < 16; i++ {
+		th.Store64(base+i*8, 1000+i)
+	}
+	if err := th.FASEAbort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	if th.InFASE() {
+		t.Fatal("still in FASE after abort")
+	}
+	for i := uint64(0); i < 16; i++ {
+		if got := th.Load64(base + i*8); got != i+1 {
+			t.Fatalf("word %d = %d after abort, want %d", i, got, i+1)
+		}
+		// The rollback is durable too: a crash right after the abort must
+		// also expose the pre-FASE values.
+		if got := h.PersistedUint64(base + i*8); got != i+1 {
+			t.Fatalf("persisted word %d = %d after abort, want %d", i, got, i+1)
+		}
+	}
+	// The thread remains usable: the next FASE commits normally.
+	th.FASEBegin()
+	th.Store64(base, 77)
+	th.FASEEnd()
+	if got := th.Load64(base); got != 77 {
+		t.Fatalf("post-abort FASE lost: %d", got)
+	}
+	// And recovery after the abort has nothing to roll back.
+	h.Crash()
+	rep, err := Recover(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FASEsRolledBack != 0 {
+		t.Fatalf("abort left an active log: %+v", rep)
+	}
+	if got := h.ReadUint64(base); got != 77 {
+		t.Fatalf("value after crash: %d", got)
+	}
+}
+
+func TestFASEAbortOverflowedLogReportsError(t *testing.T) {
+	h := pmem.New(1 << 20)
+	opts := DefaultOptions()
+	opts.LogEntries = 4
+	rt := NewRuntime(h, opts)
+	th, _ := rt.NewThread()
+	base, _ := h.AllocLines(64 * 8)
+	th.FASEBegin()
+	for i := uint64(0); i < 16; i++ { // 16 words > 4 entries
+		th.Store64(base+i*8, i+1)
+	}
+	if err := th.FASEAbort(); err == nil {
+		t.Fatal("abort of an overflowed FASE must report incompleteness")
+	}
+	// A fresh within-capacity FASE aborts cleanly again.
+	th.FASEBegin()
+	th.Store64(base, 42)
+	if err := th.FASEAbort(); err != nil {
+		t.Fatalf("abort after overflow FASE: %v", err)
+	}
+}
+
+func TestFASEAbortOutsideFASEIsNoop(t *testing.T) {
+	h := pmem.New(1 << 20)
+	rt := NewRuntime(h, DefaultOptions())
+	th, _ := rt.NewThread()
+	if err := th.FASEAbort(); err != nil {
+		t.Fatalf("abort outside FASE: %v", err)
+	}
+}

@@ -179,8 +179,36 @@ func (t *Thread) FASEEnd() {
 	}
 }
 
+// FASEAbort abandons the current FASE (all nesting levels) and rolls the
+// heap back to its state at the outermost FASEBegin, using the same undo
+// entries crash recovery would apply. The persistence policy is drained
+// first so the rollback's persists land last and the durable view also
+// reflects the pre-FASE state. It returns an error when the undo log
+// overflowed during the FASE, in which case the rollback is incomplete
+// (exactly as it would be after a crash; see LogEntries).
+func (t *Thread) FASEAbort() error {
+	if t.depth == 0 {
+		return nil
+	}
+	t.depth = 0
+	t.policy.FASEEnd()
+	dropped := t.log.rollback()
+	if t.recording {
+		t.builder.End()
+	}
+	if dropped > 0 {
+		return fmt.Errorf("atlas: abort rollback incomplete: %d undo entries were dropped", dropped)
+	}
+	return nil
+}
+
 // InFASE reports whether the thread is inside a section.
 func (t *Thread) InFASE() bool { return t.depth > 0 }
+
+// FlushStats returns this thread's flush counters (async, drained,
+// barriers). Only the owning goroutine may call it while the thread is
+// mutating; concurrent observers should snapshot it at FASE boundaries.
+func (t *Thread) FlushStats() core.FlushStats { return t.counting.Stats() }
 
 // Stores returns the number of persistent stores issued.
 func (t *Thread) Stores() int64 { return t.stores }

@@ -36,12 +36,13 @@ const (
 )
 
 type undoLog struct {
-	heap    *pmem.Heap
-	base    uint64
-	cap     int
-	count   int
-	dedup   map[uint64]struct{} // words already logged in this FASE
-	dropped int64               // records beyond capacity (reported, not fatal)
+	heap        *pmem.Heap
+	base        uint64
+	cap         int
+	count       int
+	dedup       map[uint64]struct{} // words already logged in this FASE
+	dropped     int64               // records beyond capacity (reported, not fatal)
+	droppedFASE int                 // records dropped since the last begin
 }
 
 // ensureRegistry finds or creates the heap's log registry.
@@ -89,6 +90,7 @@ func newUndoLog(h *pmem.Heap, entries int) (*undoLog, error) {
 // begin opens a FASE: mark the log active before any data write.
 func (l *undoLog) begin() {
 	l.count = 0
+	l.droppedFASE = 0
 	clear(l.dedup)
 	l.heap.WriteUint64(l.base+logStatusOff, 1)
 	l.heap.WriteUint64(l.base+logCountOff, 0)
@@ -105,6 +107,7 @@ func (l *undoLog) record(addr uint64, old uint64) {
 	l.dedup[word] = struct{}{}
 	if l.count >= l.cap {
 		l.dropped++
+		l.droppedFASE++
 		return
 	}
 	e := l.base + logHeaderSize + uint64(l.count)*logEntrySize
@@ -123,6 +126,23 @@ func (l *undoLog) commit() {
 	l.heap.Persist(l.base, logHeaderSize)
 	l.count = 0
 	clear(l.dedup)
+}
+
+// rollback undoes the current FASE in place: entries are applied backwards
+// (exactly what Recover would do after a crash) and the log is then
+// committed empty. It reports how many entries were dropped beyond the log's
+// capacity — a non-zero count means the rollback is incomplete.
+func (l *undoLog) rollback() int {
+	for j := l.count - 1; j >= 0; j-- {
+		e := l.base + logHeaderSize + uint64(j)*logEntrySize
+		addr := l.heap.ReadUint64(e)
+		old := l.heap.ReadUint64(e + 8)
+		l.heap.WriteUint64(addr, old)
+		l.heap.Persist(addr, 8)
+	}
+	dropped := l.droppedFASE
+	l.commit()
+	return dropped
 }
 
 // RecoveryReport summarises what Recover did.

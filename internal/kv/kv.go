@@ -1,0 +1,472 @@
+// Package kv is a sharded, group-committing, durable key-value service
+// layered on the paper's persistence stack: each shard owns one mdb COW
+// B+-tree on its own atlas.Thread, driven by a dedicated writer goroutine
+// that drains a queue of Put/Delete requests into a single
+// Begin/…/Commit failure-atomic section. Group commit is the paper's
+// write-combining idea lifted one level: where the software cache combines
+// flushes of the same line *within* a FASE, the batch writer combines
+// whole operations *into* one FASE, so the root-to-leaf page copies of a
+// B+-tree update are paid once per batch instead of once per operation and
+// the FASE-end drain is amortized over the batch. Requesters are acked
+// only after the commit's flush completes, so an acked write survives any
+// crash (see Crash and Recover).
+//
+// Reads never enter the writer queue: they are snapshot reads against the
+// last committed root, published atomically by the writer. Superseded
+// pages are reclaimed only once no snapshot that can still see them is
+// live (deferred reclamation via mdb.SetFreeHook), so readers never block
+// writers and writers never invalidate readers.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmcache/internal/atlas"
+	"nvmcache/internal/core"
+	"nvmcache/internal/mdb"
+	"nvmcache/internal/pmem"
+)
+
+// Errors returned by the request paths.
+var (
+	// ErrClosed reports a request against a store after Close.
+	ErrClosed = errors.New("kv: store closed")
+	// ErrCrashed reports a request lost to a (simulated) power failure; the
+	// operation was not acked and may or may not be durable — after
+	// Recover, requests aborted mid-batch are guaranteed rolled back.
+	ErrCrashed = errors.New("kv: store crashed")
+)
+
+// Options configures a Store. Use DefaultOptions as the base; zero numeric
+// fields are replaced by defaults, but Policy/Config are taken as-is.
+type Options struct {
+	// Shards is the number of independent engines (trees, writer
+	// goroutines). Keys are routed by ShardIndex.
+	Shards int
+	// MaxBatch bounds how many requests one commit may absorb; 1 disables
+	// group commit (every operation is its own FASE).
+	MaxBatch int
+	// MaxDelay bounds how long the writer waits for a batch to fill once
+	// its first request has arrived.
+	MaxDelay time.Duration
+	// QueueDepth is the per-shard request channel capacity.
+	QueueDepth int
+	// PoolPages is the per-shard B+-tree page pool capacity.
+	PoolPages int
+	// LogEntries is the per-shard undo-log capacity; it must cover the
+	// distinct words a full batch writes, or aborts and crash rollbacks
+	// become incomplete.
+	LogEntries int
+	// Policy and Config select the per-thread persistence technique
+	// (default: the paper's online-adaptive software cache).
+	Policy core.PolicyKind
+	Config core.Config
+	// CrashBeforeCommit is a failure-injection hook: when it returns true
+	// the writer simulates a power failure in the middle of its FASE —
+	// after the batch's stores, before the commit — so the whole store
+	// crashes with that batch unacked and recoverable only by rollback.
+	// batch is the shard's committed-batch count so far.
+	CrashBeforeCommit func(shard, batch, size int) bool
+}
+
+// DefaultOptions returns the serving configuration used by cmd/nvserver.
+func DefaultOptions() Options {
+	return Options{
+		Shards:     4,
+		MaxBatch:   64,
+		MaxDelay:   2 * time.Millisecond,
+		QueueDepth: 256,
+		PoolPages:  1 << 13,
+		LogEntries: 1 << 14,
+		Policy:     core.SoftCacheOnline,
+		Config:     core.DefaultConfig(),
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Shards <= 0 {
+		o.Shards = d.Shards
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = d.MaxBatch
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = d.MaxDelay
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = d.QueueDepth
+	}
+	if o.PoolPages <= 0 {
+		o.PoolPages = d.PoolPages
+	}
+	if o.LogEntries <= 0 {
+		o.LogEntries = d.LogEntries
+	}
+	return o
+}
+
+// RecommendedHeapBytes estimates the persistent heap a store with these
+// options needs, including headroom for the fresh undo logs each recovery
+// allocates (the registry grows across restarts).
+func RecommendedHeapBytes(o Options) uint64 {
+	o = o.withDefaults()
+	perShard := uint64(192)*uint64(o.PoolPages) + // page pool arena
+		16*uint64(o.LogEntries) + // undo log entries
+		4*64 // meta page, pool header, log header, slack
+	total := uint64(o.Shards) * perShard
+	restarts := uint64(4) // undo logs re-allocated per recovery
+	total += restarts * uint64(o.Shards) * (16*uint64(o.LogEntries) + 64)
+	total += 64 + 8*uint64(o.Shards) + 1<<14 // directory + registry + slack
+	return total + total/4
+}
+
+// ShardIndex routes a key to a shard: a fixed avalanche hash (splitmix64
+// finalizer) reduced mod shards, so routing is deterministic across
+// processes and restarts.
+func ShardIndex(key uint64, shards int) int {
+	x := key
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+const (
+	stateServing = iota
+	stateClosed
+	stateCrashed
+)
+
+// Store is the sharded service handle. All methods are safe for concurrent
+// use.
+type Store struct {
+	heap   *pmem.Heap
+	rt     *atlas.Runtime
+	opts   Options
+	shards []*shard
+
+	crashing  atomic.Bool
+	crashCh   chan struct{} // closed when a crash begins
+	crashDone chan struct{} // closed when the crash has fully taken effect
+
+	mu    sync.RWMutex
+	state int
+}
+
+func runtimeOptions(o Options) atlas.Options {
+	// Trace recording is always off: a serving store runs indefinitely and
+	// per-store trace buffers grow without bound.
+	return atlas.Options{Policy: o.Policy, Config: o.Config, LogEntries: o.LogEntries, DisableTrace: true}
+}
+
+// Open creates a new store in an empty heap: a shard directory (shard
+// count plus each shard's mdb meta address) becomes the heap root, so
+// Recover can reattach after a restart.
+func Open(heap *pmem.Heap, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if heap.Root() != 0 {
+		return nil, errors.New("kv: heap already holds a store; use Recover")
+	}
+	rt := atlas.NewRuntime(heap, runtimeOptions(opts))
+	dir, err := heap.AllocLines(uint64(8 + 8*opts.Shards))
+	if err != nil {
+		return nil, fmt.Errorf("kv: allocating shard directory: %w", err)
+	}
+	heap.WriteUint64(dir, uint64(opts.Shards))
+	s := &Store{heap: heap, rt: rt, opts: opts,
+		crashCh: make(chan struct{}), crashDone: make(chan struct{})}
+	for i := 0; i < opts.Shards; i++ {
+		th, err := rt.NewThread()
+		if err != nil {
+			return nil, fmt.Errorf("kv: shard %d: %w", i, err)
+		}
+		db, err := mdb.Create(th, opts.PoolPages)
+		if err != nil {
+			return nil, fmt.Errorf("kv: shard %d: %w", i, err)
+		}
+		heap.WriteUint64(dir+8+8*uint64(i), db.MetaAddr())
+		s.shards = append(s.shards, newShard(s, i, th, db))
+	}
+	heap.Persist(dir, uint64(8+8*opts.Shards))
+	heap.SetRoot(dir)
+	s.start()
+	return s, nil
+}
+
+// Recover reattaches to a heap that held a store, rolling back any FASE
+// that was in flight at the crash (every unacked batch), and resumes
+// serving. The shard count is read back from the directory; opts.Shards is
+// ignored.
+func Recover(heap *pmem.Heap, opts Options) (*Store, atlas.RecoveryReport, error) {
+	opts = opts.withDefaults()
+	rep, err := atlas.Recover(heap)
+	if err != nil {
+		return nil, rep, fmt.Errorf("kv: %w", err)
+	}
+	dir := heap.Root()
+	if dir == 0 {
+		return nil, rep, errors.New("kv: heap holds no store; use Open")
+	}
+	n := heap.ReadUint64(dir)
+	if n == 0 || n > 1<<16 {
+		return nil, rep, fmt.Errorf("kv: corrupt shard directory (%d shards)", n)
+	}
+	opts.Shards = int(n)
+	rt := atlas.NewRuntime(heap, runtimeOptions(opts))
+	s := &Store{heap: heap, rt: rt, opts: opts,
+		crashCh: make(chan struct{}), crashDone: make(chan struct{})}
+	for i := 0; i < opts.Shards; i++ {
+		th, err := rt.NewThread()
+		if err != nil {
+			return nil, rep, fmt.Errorf("kv: shard %d: %w", i, err)
+		}
+		db, err := mdb.Attach(th, heap.ReadUint64(dir+8+8*uint64(i)))
+		if err != nil {
+			return nil, rep, fmt.Errorf("kv: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, newShard(s, i, th, db))
+	}
+	s.start()
+	return s, rep, nil
+}
+
+func (s *Store) start() {
+	for _, sh := range s.shards {
+		go sh.run()
+	}
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// ShardFor returns the shard index serving key k.
+func (s *Store) ShardFor(k uint64) int { return ShardIndex(k, len(s.shards)) }
+
+// Heap returns the underlying persistent heap.
+func (s *Store) Heap() *pmem.Heap { return s.heap }
+
+// enqueue hands a request to its shard's writer. The read lock is held
+// across the send so state transitions (Close, the crash taking effect)
+// cannot race the channel.
+func (s *Store) enqueue(sh *shard, r request) error {
+	s.mu.RLock()
+	if s.state != stateServing {
+		st := s.state
+		s.mu.RUnlock()
+		if st == stateCrashed {
+			return ErrCrashed
+		}
+		return ErrClosed
+	}
+	select {
+	case sh.ch <- r:
+		s.mu.RUnlock()
+		return nil
+	case <-s.crashCh:
+		s.mu.RUnlock()
+		return ErrCrashed
+	}
+}
+
+func (s *Store) await(done chan result) (result, error) {
+	select {
+	case res := <-done:
+		return res, nil
+	case <-s.crashCh:
+		// Wait for the crash to take full effect: by then every batch that
+		// committed before the failure has delivered its acks and every
+		// abandoned request has been nacked, so a missing result here
+		// firmly means the operation did not commit.
+		<-s.crashDone
+		select {
+		case res := <-done:
+			return res, nil
+		default:
+			return result{}, ErrCrashed
+		}
+	}
+}
+
+// Put durably stores k→v. It returns nil only after the batch containing
+// the write has committed and its flushes completed — an acked Put
+// survives any crash.
+func (s *Store) Put(k, v uint64) error {
+	sh := s.shards[ShardIndex(k, len(s.shards))]
+	r := request{op: opPut, k: k, v: v, done: make(chan result, 1)}
+	if err := s.enqueue(sh, r); err != nil {
+		return err
+	}
+	res, err := s.await(r.done)
+	if err != nil {
+		return err
+	}
+	return res.err
+}
+
+// Delete durably removes k, reporting whether it was present. The same
+// ack-after-flush guarantee as Put applies.
+func (s *Store) Delete(k uint64) (bool, error) {
+	sh := s.shards[ShardIndex(k, len(s.shards))]
+	r := request{op: opDel, k: k, done: make(chan result, 1)}
+	if err := s.enqueue(sh, r); err != nil {
+		return false, err
+	}
+	res, err := s.await(r.done)
+	if err != nil {
+		return false, err
+	}
+	return res.found, res.err
+}
+
+// Get reads k from the shard's last committed snapshot, without entering
+// the writer queue: concurrent commits never block a reader and a reader
+// never blocks the writer. Reads keep working after Close (the heap stays
+// attached) but not after a crash.
+func (s *Store) Get(k uint64) (uint64, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.state == stateCrashed {
+		return 0, false, ErrCrashed
+	}
+	sh := s.shards[ShardIndex(k, len(s.shards))]
+	root, gen := sh.acquire()
+	v, ok := sh.db.GetSnapshot(root, k)
+	sh.release(gen)
+	sh.gets.Add(1)
+	return v, ok, nil
+}
+
+// Snapshot pins shard's current committed root: Get against the snapshot
+// sees that exact tree regardless of concurrent commits, because the pages
+// it references are not recycled until Release. Snapshots must be released
+// before Crash; reads concurrent with a power failure are undefined.
+func (s *Store) Snapshot(shard int) (*Snapshot, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("kv: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.state == stateCrashed {
+		return nil, ErrCrashed
+	}
+	sh := s.shards[shard]
+	root, gen := sh.acquire()
+	return &Snapshot{sh: sh, root: root, gen: gen}, nil
+}
+
+// Snapshot is a pinned read-only view of one shard.
+type Snapshot struct {
+	sh       *shard
+	root     uint64
+	gen      uint64
+	released bool
+}
+
+// Get looks k up in the pinned view.
+func (sn *Snapshot) Get(k uint64) (uint64, bool) { return sn.sh.db.GetSnapshot(sn.root, k) }
+
+// Gen returns the committed generation the snapshot pins.
+func (sn *Snapshot) Gen() uint64 { return sn.gen }
+
+// Root exposes the pinned root (for mdb.GetSnapshot-level assertions).
+func (sn *Snapshot) Root() uint64 { return sn.root }
+
+// Release unpins the view, allowing its superseded pages to be recycled.
+func (sn *Snapshot) Release() {
+	if sn.released {
+		return
+	}
+	sn.released = true
+	sn.sh.release(sn.gen)
+}
+
+// Close drains every shard gracefully: pending requests are accepted no
+// more, queued ones are batched, committed and acked, writer goroutines
+// exit, and the runtime's residual dirty state is persisted. Reads remain
+// possible afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.state != stateServing {
+		st := s.state
+		s.mu.Unlock()
+		if st == stateCrashed {
+			return ErrCrashed
+		}
+		return nil
+	}
+	s.state = stateClosed
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	if s.crashing.Load() {
+		return ErrCrashed
+	}
+	s.rt.Close()
+	return nil
+}
+
+// Crash simulates a power failure: in-flight batches are abandoned
+// mid-FASE (never acked, rolled back by Recover), writer goroutines stop,
+// the heap's volatile view is discarded, and every queued request fails
+// with ErrCrashed. The Store is unusable afterwards; build a new one with
+// Recover on the same heap.
+func (s *Store) Crash() error { return s.initiateCrash(nil) }
+
+// Crashed is closed once a crash (external or injected) has fully taken
+// effect — after it, the heap is safe to Recover.
+func (s *Store) Crashed() <-chan struct{} { return s.crashDone }
+
+// initiateCrash coordinates the failure: writers park first (so no
+// goroutine mutates the heap mid-discard), then the volatile view is
+// dropped. except is the writer-shard initiating the crash from inside its
+// own FASE (via CrashBeforeCommit), which parks itself after returning.
+func (s *Store) initiateCrash(except *shard) error {
+	if !s.crashing.CompareAndSwap(false, true) {
+		return ErrCrashed
+	}
+	close(s.crashCh)
+	for _, sh := range s.shards {
+		if sh != except {
+			<-sh.done
+		}
+	}
+	s.mu.Lock()
+	s.state = stateCrashed
+	s.heap.Crash()
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		for {
+			select {
+			case r := <-sh.ch:
+				r.done <- result{err: ErrCrashed}
+				continue
+			default:
+			}
+			break
+		}
+	}
+	close(s.crashDone)
+	return nil
+}
+
+// CheckInvariants validates every shard's tree structure. Call it on a
+// quiesced store (freshly recovered, or after Close).
+func (s *Store) CheckInvariants() error {
+	for _, sh := range s.shards {
+		if err := sh.db.CheckInvariants(); err != nil {
+			return fmt.Errorf("kv: shard %d: %w", sh.id, err)
+		}
+	}
+	return nil
+}

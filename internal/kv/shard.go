@@ -1,0 +1,248 @@
+package kv
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"nvmcache/internal/atlas"
+	"nvmcache/internal/mdb"
+)
+
+type opKind uint8
+
+const (
+	opPut opKind = iota
+	opDel
+)
+
+// request is one queued mutation; done (buffered, capacity 1) carries the
+// ack after the containing batch has committed and flushed.
+type request struct {
+	op   opKind
+	k, v uint64
+	done chan result
+}
+
+type result struct {
+	err   error
+	found bool
+}
+
+// genPages are the pages superseded by the commit of generation gen; a
+// snapshot of any generation < gen may still read them.
+type genPages struct {
+	gen   uint64
+	pages []uint64
+}
+
+// shard is one engine: a COW B+-tree on its own atlas thread, mutated only
+// by its writer goroutine (run), read by anyone through pinned snapshots.
+type shard struct {
+	id   int
+	st   *Store
+	th   *atlas.Thread
+	db   *mdb.DB
+	ch   chan request
+	done chan struct{} // closed when the writer goroutine exits
+
+	// Snapshot bookkeeping. curRoot/curGen are the last *committed* root
+	// and generation — never a mid-transaction root, which is why readers
+	// must go through acquire instead of db.Snapshot.
+	snapMu  sync.Mutex
+	curRoot uint64
+	curGen  uint64
+	active  map[uint64]int // snapshot generation → pin count
+	pending []genPages     // freed pages awaiting reader drain
+
+	counters
+}
+
+func newShard(s *Store, id int, th *atlas.Thread, db *mdb.DB) *shard {
+	sh := &shard{
+		id: id, st: s, th: th, db: db,
+		ch:     make(chan request, s.opts.QueueDepth),
+		done:   make(chan struct{}),
+		active: make(map[uint64]int),
+	}
+	sh.curRoot = db.Snapshot()
+	sh.curGen = db.Generation()
+	db.SetFreeHook(sh.onFreed)
+	sh.lats = make([]float64, 0, latRingCap)
+	return sh
+}
+
+// acquire pins the current committed view for a reader.
+func (sh *shard) acquire() (root, gen uint64) {
+	sh.snapMu.Lock()
+	root, gen = sh.curRoot, sh.curGen
+	sh.active[gen]++
+	sh.snapMu.Unlock()
+	return root, gen
+}
+
+// release unpins; eligible pages are recycled at the writer's next commit
+// (the pool free list is single-writer).
+func (sh *shard) release(gen uint64) {
+	sh.snapMu.Lock()
+	if sh.active[gen]--; sh.active[gen] <= 0 {
+		delete(sh.active, gen)
+	}
+	sh.snapMu.Unlock()
+}
+
+// onFreed is the mdb free hook: it runs on the writer goroutine during
+// Commit, parking the superseded pages until readers drain.
+func (sh *shard) onFreed(gen uint64, pages []uint64) {
+	sh.snapMu.Lock()
+	sh.pending = append(sh.pending, genPages{gen: gen, pages: pages})
+	sh.snapMu.Unlock()
+}
+
+// publish installs the newly committed root for readers and recycles every
+// parked page no live snapshot can still reach.
+func (sh *shard) publish() {
+	sh.snapMu.Lock()
+	sh.curRoot = sh.db.Snapshot()
+	sh.curGen = sh.db.Generation()
+	minGen := uint64(math.MaxUint64)
+	for g := range sh.active {
+		if g < minGen {
+			minGen = g
+		}
+	}
+	var reclaim []uint64
+	keep := sh.pending[:0]
+	for _, gp := range sh.pending {
+		// Pages freed by commit gen are needed by snapshots with
+		// generation < gen only.
+		if minGen >= gp.gen {
+			reclaim = append(reclaim, gp.pages...)
+		} else {
+			keep = append(keep, gp)
+		}
+	}
+	sh.pending = keep
+	sh.snapMu.Unlock()
+	if len(reclaim) > 0 {
+		sh.db.RecyclePages(reclaim)
+	}
+}
+
+// run is the shard's writer loop: take the first waiting request, gather a
+// batch (bounded by MaxBatch and MaxDelay), commit it as one FASE, ack.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		select {
+		case req, ok := <-sh.ch:
+			if !ok {
+				return
+			}
+			batch := sh.gather(req)
+			if sh.commitBatch(batch) {
+				return
+			}
+		case <-sh.st.crashCh:
+			return
+		}
+	}
+}
+
+// gather collects requests for one group commit: it returns when the batch
+// is full, when MaxDelay has passed since the batch opened, or when the
+// store is shutting down or crashing.
+func (sh *shard) gather(first request) []request {
+	batch := make([]request, 1, sh.st.opts.MaxBatch)
+	batch[0] = first
+	if sh.st.opts.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(sh.st.opts.MaxDelay)
+	defer timer.Stop()
+	for len(batch) < sh.st.opts.MaxBatch {
+		select {
+		case r, ok := <-sh.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-sh.st.crashCh:
+			return batch
+		}
+	}
+	return batch
+}
+
+func nackAll(batch []request, err error) {
+	for i := range batch {
+		batch[i].done <- result{err: err}
+	}
+}
+
+// commitBatch applies the batch inside one FASE and acks after the commit
+// is durable. It reports whether the store crashed (the writer must exit).
+func (sh *shard) commitBatch(batch []request) (crashed bool) {
+	if sh.st.crashing.Load() {
+		nackAll(batch, ErrCrashed)
+		return true
+	}
+	pre := sh.th.FlushStats()
+	if err := sh.db.Begin(); err != nil {
+		nackAll(batch, err)
+		return false
+	}
+	results := make([]result, len(batch))
+	var failed error
+	for i := range batch {
+		r := &batch[i]
+		switch r.op {
+		case opPut:
+			failed = sh.db.Put(r.k, r.v)
+		case opDel:
+			results[i].found, failed = sh.db.Delete(r.k)
+		}
+		if failed != nil {
+			break
+		}
+	}
+	if failed != nil {
+		// Shed the whole batch: roll the transaction back so the committed
+		// tree is untouched, and surface the cause (typically
+		// mdb.ErrPoolExhausted) to every requester.
+		if aerr := sh.db.Abort(); aerr != nil {
+			failed = fmt.Errorf("%w (abort: %v)", failed, aerr)
+		}
+		sh.aborts.Add(1)
+		nackAll(batch, failed)
+		return false
+	}
+	if hook := sh.st.opts.CrashBeforeCommit; hook != nil &&
+		hook(sh.id, int(sh.batches.Load()), len(batch)) {
+		// Injected power failure in the middle of the FASE: the undo log is
+		// still active, so Recover rolls this batch back in full.
+		sh.st.initiateCrash(sh)
+		nackAll(batch, ErrCrashed)
+		return true
+	}
+	if sh.st.crashing.Load() {
+		// A concurrent crash caught us mid-FASE: abandon without
+		// committing, exactly as the power failure would.
+		nackAll(batch, ErrCrashed)
+		return true
+	}
+	if err := sh.db.Commit(); err != nil {
+		nackAll(batch, err)
+		return false
+	}
+	post := sh.th.FlushStats()
+	sh.publish()
+	sh.note(batch, pre, post)
+	for i := range batch {
+		batch[i].done <- results[i]
+	}
+	return false
+}

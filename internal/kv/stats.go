@@ -1,0 +1,195 @@
+package kv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/hwsim"
+)
+
+// latRingCap bounds the per-shard commit-latency sample buffer: percentiles
+// reflect the most recent ~4k commits.
+const latRingCap = 4096
+
+// counters is the shard's instrumentation. The writer goroutine updates
+// the atomics at batch boundaries (flush counters are snapshots of the
+// thread's totals, published after each commit so observers never race the
+// mutating thread); gets is bumped by reader goroutines directly.
+type counters struct {
+	puts, dels    atomic.Uint64
+	gets          atomic.Uint64
+	batches       atomic.Uint64
+	batchedOps    atomic.Uint64
+	aborts        atomic.Uint64
+	flushAsync    atomic.Int64
+	flushDrained  atomic.Int64
+	flushBarriers atomic.Int64
+
+	latMu   sync.Mutex
+	lats    []float64 // ring of recent commit latencies, simulated cycles
+	latNext int
+}
+
+// note records one committed batch: operation mix, flush-counter snapshot,
+// and the commit's drain latency in simulated cycles.
+func (sh *shard) note(batch []request, pre, post core.FlushStats) {
+	var nput, ndel uint64
+	for i := range batch {
+		if batch[i].op == opPut {
+			nput++
+		} else {
+			ndel++
+		}
+	}
+	sh.puts.Add(nput)
+	sh.dels.Add(ndel)
+	sh.batches.Add(1)
+	sh.batchedOps.Add(uint64(len(batch)))
+	sh.flushAsync.Store(post.Async)
+	sh.flushDrained.Store(post.Drained)
+	sh.flushBarriers.Store(post.Barriers)
+	sh.recordLatency(commitCycles(post.Drained - pre.Drained))
+}
+
+func (sh *shard) recordLatency(cycles float64) {
+	sh.latMu.Lock()
+	if len(sh.lats) < latRingCap {
+		sh.lats = append(sh.lats, cycles)
+	} else {
+		sh.lats[sh.latNext] = cycles
+		sh.latNext = (sh.latNext + 1) % latRingCap
+	}
+	sh.latMu.Unlock()
+}
+
+// commitCycles converts a commit's FASE-end drain into simulated cycles
+// using the repository's calibrated cost model: every drained line pays
+// its issue cost, and write-back waves of MaxOutstanding lines proceed in
+// parallel but cannot overlap with computation (the drain is the stall the
+// paper's Section II-A describes).
+func commitCycles(drained int64) float64 {
+	if drained < 0 {
+		drained = 0
+	}
+	cm := hwsim.DefaultCostModel()
+	waves := math.Ceil(float64(drained) / float64(cm.MaxOutstanding))
+	return cm.FASEOverhead + float64(drained)*cm.FlushIssue + waves*cm.FlushLatency
+}
+
+// ShardStats is one shard's instrumentation snapshot.
+type ShardStats struct {
+	Shard int
+	// Operation counts (committed mutations and served reads).
+	Puts, Deletes, Gets uint64
+	// Group-commit shape.
+	Batches, BatchedOps uint64
+	// Aborted batches (shed load, e.g. pool exhaustion).
+	Aborts uint64
+	// Flush counters of the shard's persistence policy: async (overlapped,
+	// mid-FASE evictions), drained (FASE-end stalls), barriers (empty
+	// drains).
+	AsyncFlushes, DrainedFlushes, Barriers int64
+	// Commit drain latency percentiles over recent batches, in simulated
+	// cycles.
+	CommitP50, CommitP99 float64
+}
+
+// AvgBatch returns the mean committed batch size.
+func (st ShardStats) AvgBatch() float64 {
+	if st.Batches == 0 {
+		return 0
+	}
+	return float64(st.BatchedOps) / float64(st.Batches)
+}
+
+// Flushes returns all line flushes (async + drained).
+func (st ShardStats) Flushes() int64 { return st.AsyncFlushes + st.DrainedFlushes }
+
+// FlushRatio returns line flushes per committed mutation — the service-
+// level analogue of the paper's Table III flush ratio; group commit lowers
+// it by amortizing page copies and the FASE-end drain across the batch.
+func (st ShardStats) FlushRatio() float64 {
+	if st.BatchedOps == 0 {
+		return 0
+	}
+	return float64(st.Flushes()) / float64(st.BatchedOps)
+}
+
+// String renders one STATS line.
+func (st ShardStats) String() string {
+	return fmt.Sprintf(
+		"shard=%d puts=%d dels=%d gets=%d batches=%d avg_batch=%.2f aborts=%d flushes=%d (async=%d drained=%d barriers=%d) flush_ratio=%.3f commit_p50=%.0fcyc commit_p99=%.0fcyc",
+		st.Shard, st.Puts, st.Deletes, st.Gets, st.Batches, st.AvgBatch(), st.Aborts,
+		st.Flushes(), st.AsyncFlushes, st.DrainedFlushes, st.Barriers,
+		st.FlushRatio(), st.CommitP50, st.CommitP99)
+}
+
+func (sh *shard) stats() ShardStats {
+	st := ShardStats{
+		Shard:          sh.id,
+		Puts:           sh.puts.Load(),
+		Deletes:        sh.dels.Load(),
+		Gets:           sh.gets.Load(),
+		Batches:        sh.batches.Load(),
+		BatchedOps:     sh.batchedOps.Load(),
+		Aborts:         sh.aborts.Load(),
+		AsyncFlushes:   sh.flushAsync.Load(),
+		DrainedFlushes: sh.flushDrained.Load(),
+		Barriers:       sh.flushBarriers.Load(),
+	}
+	sh.latMu.Lock()
+	lats := append([]float64(nil), sh.lats...)
+	sh.latMu.Unlock()
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		st.CommitP50 = percentile(lats, 0.50)
+		st.CommitP99 = percentile(lats, 0.99)
+	}
+	return st
+}
+
+// percentile reads the p-quantile from sorted samples (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Stats snapshots every shard's instrumentation.
+func (s *Store) Stats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.stats()
+	}
+	return out
+}
+
+// Totals aggregates shard stats (percentiles are the max across shards —
+// the service-level tail).
+func Totals(stats []ShardStats) ShardStats {
+	var t ShardStats
+	t.Shard = -1
+	for _, st := range stats {
+		t.Puts += st.Puts
+		t.Deletes += st.Deletes
+		t.Gets += st.Gets
+		t.Batches += st.Batches
+		t.BatchedOps += st.BatchedOps
+		t.Aborts += st.Aborts
+		t.AsyncFlushes += st.AsyncFlushes
+		t.DrainedFlushes += st.DrainedFlushes
+		t.Barriers += st.Barriers
+		t.CommitP50 = math.Max(t.CommitP50, st.CommitP50)
+		t.CommitP99 = math.Max(t.CommitP99, st.CommitP99)
+	}
+	return t
+}

@@ -14,12 +14,19 @@
 package mdb
 
 import (
+	"errors"
 	"fmt"
 
 	"nvmcache/internal/atlas"
 	"nvmcache/internal/pmem"
 	"nvmcache/internal/trace"
 )
+
+// ErrPoolExhausted is returned (wrapped) by Put and Delete when the page
+// pool has no pages left for the transaction's COW copies. It is a load
+// condition, not corruption: the caller should Abort the transaction and
+// shed work (or reopen with a larger pool). Test with errors.Is.
+var ErrPoolExhausted = errors.New("mdb: page pool exhausted")
 
 // Tree geometry: order-8 nodes, one page = header + 8 keys + 8 values (or
 // child pointers) = 136 bytes, padded to 3 cache lines so pages never
@@ -58,6 +65,9 @@ type DB struct {
 	copied map[uint64]uint64 // old page -> txn-local copy
 	fresh  map[uint64]bool   // pages allocated in this txn (mutable in place)
 	freed  []uint64          // pages to recycle at commit
+	// freeHook, when set, receives the superseded pages of each commit
+	// instead of them being recycled immediately (see SetFreeHook).
+	freeHook func(gen uint64, pages []uint64)
 }
 
 // Open creates an empty store with the default page-pool capacity (or
@@ -65,8 +75,20 @@ type DB struct {
 func Open(t *atlas.Thread) (*DB, error) { return OpenSized(t, DefaultPoolPages) }
 
 // OpenSized creates an empty store whose page pool holds up to pages
-// pages.
+// pages and installs it as the heap's root object.
 func OpenSized(t *atlas.Thread, pages int) (*DB, error) {
+	db, err := Create(t, pages)
+	if err != nil {
+		return nil, err
+	}
+	t.Heap().SetRoot(db.meta)
+	return db, nil
+}
+
+// Create builds an empty store without touching the heap's root pointer,
+// so several stores can share one heap (a sharded service keeps each
+// shard's MetaAddr in its own directory object). Use Attach to reopen.
+func Create(t *atlas.Thread, pages int) (*DB, error) {
 	meta, err := t.Heap().AllocLines(64)
 	if err != nil {
 		return nil, fmt.Errorf("mdb: %w", err)
@@ -81,7 +103,6 @@ func OpenSized(t *atlas.Thread, pages int) (*DB, error) {
 	t.Store64(meta+8, 0)            // generation
 	t.Store64(meta+16, pool.Base()) // page pool
 	t.FASEEnd()
-	t.Heap().SetRoot(meta)
 	return db, nil
 }
 
@@ -92,6 +113,15 @@ func Reopen(t *atlas.Thread) (*DB, error) {
 	if meta == 0 {
 		return nil, fmt.Errorf("mdb: heap has no root; use Open")
 	}
+	return Attach(t, meta)
+}
+
+// Attach reopens the store whose meta page lives at meta (obtained from
+// MetaAddr before the restart), for heaps holding more than one store.
+func Attach(t *atlas.Thread, meta uint64) (*DB, error) {
+	if meta == 0 {
+		return nil, fmt.Errorf("mdb: zero meta address")
+	}
 	pool, err := pmem.OpenPool(t.Heap(), t.Heap().ReadUint64(meta+16))
 	if err != nil {
 		return nil, fmt.Errorf("mdb: reopening page pool: %w", err)
@@ -99,10 +129,23 @@ func Reopen(t *atlas.Thread) (*DB, error) {
 	return &DB{t: t, meta: meta, pool: pool, recycle: true}, nil
 }
 
+// MetaAddr returns the persistent address of the store's meta page; store
+// it in a root/directory object to Attach after a restart.
+func (db *DB) MetaAddr() uint64 { return db.meta }
+
 // Generation returns the committed transaction count.
 func (db *DB) Generation() uint64 { return db.t.Load64(db.meta + 8) }
 
-func (db *DB) alloc() (uint64, error) { return db.pool.Alloc() }
+func (db *DB) alloc() (uint64, error) {
+	p, err := db.pool.Alloc()
+	if err != nil {
+		if errors.Is(err, pmem.ErrPoolExhausted) {
+			return 0, fmt.Errorf("%w (%d pages)", ErrPoolExhausted, db.pool.Capacity())
+		}
+		return 0, err
+	}
+	return p, nil
+}
 
 // page accessors (p is a page address).
 func (db *DB) ptype(p uint64) uint64      { return db.t.Load64(p+hdrOff) >> 32 }
@@ -138,17 +181,69 @@ func (db *DB) Commit() error {
 	db.t.Store64(db.meta+8, db.Generation()+1)
 	db.t.FASEEnd()
 	if db.recycle {
-		// The superseded page versions return to the persistent pool only
-		// after the transaction is durable, so a crash can at worst leak
-		// pages, never hand a live page out twice.
-		for _, p := range db.freed {
-			db.pool.Free(p)
+		if db.freeHook != nil {
+			if len(db.freed) > 0 {
+				pages := make([]uint64, len(db.freed))
+				copy(pages, db.freed)
+				db.freeHook(db.Generation(), pages)
+			}
+		} else {
+			// The superseded page versions return to the persistent pool only
+			// after the transaction is durable, so a crash can at worst leak
+			// pages, never hand a live page out twice.
+			for _, p := range db.freed {
+				db.pool.Free(p)
+			}
 		}
 	}
 	db.inTxn = false
 	db.copied, db.fresh = nil, nil
 	return nil
 }
+
+// Abort rolls the current transaction back: the FASE's undo entries are
+// applied in reverse (restoring root, generation, and every touched page)
+// and the pages allocated by the transaction are returned to the pool. The
+// committed tree is untouched — exactly the state a crash mid-transaction
+// plus recovery would yield, minus the page leak. Abort fails (with the
+// store left as recovery would leave it) only when the undo log overflowed.
+func (db *DB) Abort() error {
+	if !db.inTxn {
+		return fmt.Errorf("mdb: abort outside transaction")
+	}
+	err := db.t.FASEAbort()
+	if err == nil {
+		// All pages allocated in this txn (copies and fresh nodes) are
+		// unreferenced by the restored tree; recycle them.
+		for p := range db.fresh {
+			db.pool.Free(p)
+		}
+	}
+	db.inTxn = false
+	db.copied, db.fresh = nil, nil
+	db.freed = db.freed[:0]
+	return err
+}
+
+// SetFreeHook redirects the superseded pages of every commit to fn instead
+// of recycling them immediately. A service layer serving lock-free snapshot
+// readers uses this to defer reuse until no snapshot older than gen is
+// live, then returns the pages with RecyclePages. fn runs on the committing
+// goroutine, after the transaction is durable. Passing nil restores
+// immediate recycling.
+func (db *DB) SetFreeHook(fn func(gen uint64, pages []uint64)) { db.freeHook = fn }
+
+// RecyclePages returns pages previously handed to the free hook to the
+// pool. Like all mutating methods it must be called from the store's single
+// writer (the pool's free list is not safe for concurrent update).
+func (db *DB) RecyclePages(pages []uint64) {
+	for _, p := range pages {
+		db.pool.Free(p)
+	}
+}
+
+// PoolRemaining reports how many pages the store can still allocate.
+func (db *DB) PoolRemaining() int { return db.pool.Remaining() }
 
 // touch returns a mutable version of page p within the current
 // transaction, copying it on first touch (copy-on-write).

@@ -1,6 +1,7 @@
 package mdb
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -443,5 +444,193 @@ func TestOpenSizedExhaustionSurfaces(t *testing.T) {
 	}
 	if putErr == nil {
 		t.Fatal("pool exhaustion never surfaced")
+	}
+}
+
+func TestPoolExhaustionSentinelAndAbort(t *testing.T) {
+	h := pmem.New(1 << 22)
+	opts := atlas.DefaultOptions()
+	opts.LogEntries = 1 << 15
+	rt := atlas.NewRuntime(h, opts)
+	th, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenSized(th, 24) // tiny pool: exhausts quickly
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill until Put surfaces the sentinel.
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	var putErr error
+	n := uint64(0)
+	for ; n < 10000; n++ {
+		if putErr = db.Put(n, n); putErr != nil {
+			break
+		}
+	}
+	if putErr == nil {
+		t.Fatal("tiny pool never exhausted")
+	}
+	if !errors.Is(putErr, ErrPoolExhausted) {
+		t.Fatalf("Put error %v does not wrap ErrPoolExhausted", putErr)
+	}
+	remainBefore := db.PoolRemaining()
+	if err := db.Abort(); err != nil {
+		t.Fatalf("abort after exhaustion: %v", err)
+	}
+	if db.PoolRemaining() <= remainBefore {
+		t.Fatalf("abort did not return txn pages: %d -> %d", remainBefore, db.PoolRemaining())
+	}
+	// The aborted transaction left no trace and the store still works.
+	if got := db.Count(); got != 0 {
+		t.Fatalf("%d keys visible after aborted txn", got)
+	}
+	if err := db.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, 7, 70)
+	if v, ok := db.Get(7); !ok || v != 70 {
+		t.Fatalf("Get(7) = %d,%v after abort", v, ok)
+	}
+	// Delete surfaces the sentinel too once the pool is truly dry (COW of
+	// the descent path needs a page).
+	for db.PoolRemaining() > 0 {
+		if _, err := db.pool.Alloc(); err != nil {
+			break
+		}
+	}
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Delete(7); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("Delete on dry pool: %v", err)
+	}
+	if err := db.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortRestoresCommittedState(t *testing.T) {
+	_, db := newDB(t, core.SoftCacheOnline)
+	for k := uint64(0); k < 64; k++ {
+		put(t, db, k, k*10)
+	}
+	genBefore := db.Generation()
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 32; k++ {
+		if err := db.Put(k, 9999); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Delete(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Generation() != genBefore {
+		t.Fatalf("generation %d after abort, want %d", db.Generation(), genBefore)
+	}
+	for k := uint64(0); k < 64; k++ {
+		if v, ok := db.Get(k); !ok || v != k*10 {
+			t.Fatalf("Get(%d) = %d,%v after abort", k, v, ok)
+		}
+	}
+	if err := db.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateAttachMultipleStoresOneHeap(t *testing.T) {
+	h := pmem.New(1 << 24)
+	opts := atlas.DefaultOptions()
+	opts.LogEntries = 1 << 14
+	rt := atlas.NewRuntime(h, opts)
+	metas := make([]uint64, 3)
+	for i := range metas {
+		th, err := rt.NewThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := Create(th, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metas[i] = db.MetaAddr()
+		if err := db.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 20; k++ {
+			if err := db.Put(k, uint64(i)*1000+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Root() != 0 {
+		t.Fatal("Create must not install a heap root")
+	}
+	rt.Close()
+	// "Restart": recover and attach each store by its meta address.
+	if _, err := atlas.Recover(h); err != nil {
+		t.Fatal(err)
+	}
+	rt2 := atlas.NewRuntime(h, opts)
+	for i, meta := range metas {
+		th, err := rt2.NewThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := Attach(th, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 20; k++ {
+			if v, ok := db.Get(k); !ok || v != uint64(i)*1000+k {
+				t.Fatalf("store %d Get(%d) = %d,%v", i, k, v, ok)
+			}
+		}
+		if err := db.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFreeHookDefersRecycling(t *testing.T) {
+	_, db := newDB(t, core.Lazy)
+	var hookGen uint64
+	var held []uint64
+	db.SetFreeHook(func(gen uint64, pages []uint64) {
+		hookGen = gen
+		held = append(held, pages...)
+	})
+	put(t, db, 1, 10)
+	snapRoot := db.Snapshot()
+	remain := db.PoolRemaining()
+	put(t, db, 1, 20) // supersedes the old leaf
+	if len(held) == 0 {
+		t.Fatal("free hook never called")
+	}
+	if hookGen != db.Generation() {
+		t.Fatalf("hook gen %d, want %d", hookGen, db.Generation())
+	}
+	// Pages were not recycled: the snapshot still reads the old version.
+	if v, ok := db.GetSnapshot(snapRoot, 1); !ok || v != 10 {
+		t.Fatalf("snapshot read %d,%v, want 10", v, ok)
+	}
+	if db.PoolRemaining() >= remain {
+		t.Fatalf("pool grew without recycling: %d -> %d", remain, db.PoolRemaining())
+	}
+	// Returning the pages makes them allocatable again.
+	db.RecyclePages(held)
+	if db.PoolRemaining() <= remain-2 {
+		t.Fatalf("RecyclePages had no effect: %d", db.PoolRemaining())
 	}
 }

@@ -1,10 +1,17 @@
 package pmem
 
 import (
+	"errors"
 	"fmt"
 
 	"nvmcache/internal/trace"
 )
+
+// ErrPoolExhausted is returned by Pool.Alloc when neither the free list nor
+// the arena has a block left. Callers that can shed load (abort a
+// transaction, reject a request) test for it with errors.Is and degrade
+// instead of treating the condition as corruption.
+var ErrPoolExhausted = errors.New("pool exhausted")
 
 // Pool is a crash-consistent fixed-size block allocator over a Heap — a
 // miniature of Makalu (Bhandari et al., OOPSLA'16), the recoverable
@@ -90,7 +97,7 @@ func (p *Pool) Alloc() (uint64, error) {
 	cur := p.heap.ReadUint64(p.base + poolCursorOff)
 	end := p.heap.ReadUint64(p.base + poolEndOff)
 	if cur+p.BlockSize() > end {
-		return 0, fmt.Errorf("pmem: pool exhausted (%d-byte blocks)", p.BlockSize())
+		return 0, fmt.Errorf("pmem: %w (%d-byte blocks)", ErrPoolExhausted, p.BlockSize())
 	}
 	p.heap.WriteUint64(p.base+poolCursorOff, cur+p.BlockSize())
 	p.heap.Persist(p.base+poolCursorOff, 8)

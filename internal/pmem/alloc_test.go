@@ -1,6 +1,7 @@
 package pmem
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -152,5 +153,32 @@ func TestQuickPoolConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPoolExhaustionSentinel(t *testing.T) {
+	h := New(1 << 16)
+	p, err := NewPool(h, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 4; i++ {
+		if last, err = p.Alloc(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	_, err = p.Alloc()
+	if err == nil {
+		t.Fatal("Alloc succeeded past capacity")
+	}
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("error %v does not wrap ErrPoolExhausted", err)
+	}
+	// Freeing makes the pool allocatable again: exhaustion is load, not
+	// corruption.
+	p.Free(last)
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("alloc after free: %v", err)
 	}
 }
