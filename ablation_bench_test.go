@@ -119,7 +119,7 @@ func BenchmarkAblationBurstLength(b *testing.B) {
 		for _, burst := range []int{128, 1024, 8192} {
 			cfg := core.DefaultConfig()
 			cfg.BurstLength = burst
-			p := core.NewPolicy(core.SoftCacheOnline, cfg, core.NewCountingFlusher(nil))
+			p := core.NewPolicy(core.SoftCacheOnline, cfg, core.NewCountingSink(nil))
 			core.RunSeq(p, tr.Threads[0])
 			chosen[burst] = p.(core.SizeReporter).AdaptReport().ChosenSize
 		}
@@ -156,13 +156,13 @@ func BenchmarkAblationGroupedMRC(b *testing.B) {
 		cfg.BurstLength = 600
 		perThread, grouped = 0, 0
 		for t := 0; t < threads; t++ {
-			p := core.NewPolicy(core.SoftCacheOnline, cfg, core.NewCountingFlusher(nil))
+			p := core.NewPolicy(core.SoftCacheOnline, cfg, core.NewCountingSink(nil))
 			core.RunSeq(p, seqs[t])
 			perThread += p.(core.SizeReporter).AdaptReport().AnalyzedWrites
 		}
-		flushers := make([]core.Flusher, threads)
+		flushers := make([]core.FlushSink, threads)
 		for t := range flushers {
-			flushers[t] = core.NewCountingFlusher(nil)
+			flushers[t] = core.NewCountingSink(nil)
 		}
 		policies := core.NewGroupedPolicies(cfg, flushers)
 		for t, p := range policies {
@@ -197,12 +197,12 @@ func BenchmarkAblationHibernation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig()
 		cfg.BurstLength = 480
-		cf := core.NewCountingFlusher(nil)
+		cf := core.NewCountingSink(nil)
 		core.RunSeq(core.NewPolicy(core.SoftCacheOnline, cfg, cf), seq)
 		once = float64(cf.Stats().Total()) / float64(seq.NumWrites())
 
 		cfg.Hibernation = 4000 // re-sample periodically
-		cf2 := core.NewCountingFlusher(nil)
+		cf2 := core.NewCountingSink(nil)
 		core.RunSeq(core.NewPolicy(core.SoftCacheOnline, cfg, cf2), seq)
 		periodic = float64(cf2.Stats().Total()) / float64(seq.NumWrites())
 	}

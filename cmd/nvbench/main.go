@@ -191,6 +191,21 @@ var experiments = []experiment{
 		c.show(r.Table())
 		return nil
 	}},
+	{"contention", "store-throughput scaling of the sharded heap (wall clock, 1/2/4/8 goroutines)", func(c *runCtx) error {
+		copt := harness.DefaultContentionOptions()
+		if c.opt.Threads > 1 {
+			copt.Goroutines = nil
+			for g := 1; g <= c.opt.Threads; g *= 2 {
+				copt.Goroutines = append(copt.Goroutines, g)
+			}
+		}
+		r, err := harness.StoreScaling(copt)
+		if err != nil {
+			return err
+		}
+		c.show(r.Table())
+		return nil
+	}},
 	{"sizes", "Section IV-G: cache sizes the offline selection picks per program", func(c *runCtx) error {
 		r, err := harness.SelectedSizes(c.opt)
 		if err != nil {

@@ -22,7 +22,7 @@ import (
 //	PUT <k> <v>  ->  OK
 //	GET <k>      ->  VAL <v> | NIL
 //	DEL <k>      ->  OK | NIL
-//	STATS        ->  one line per shard, a total line, then END
+//	STATS        ->  one line per shard, a total line, a stripes line, then END
 //	QUIT         ->  BYE (server closes the connection)
 //	anything else -> ERR <message>
 //
@@ -154,6 +154,7 @@ func (s *server) command(w *bufio.Writer, f []string) (quit bool) {
 		tot := kv.Totals(stats)
 		fmt.Fprintf(w, "total ops=%d gets=%d batches=%d avg_batch=%.2f flushes=%d flush_ratio=%.3f commit_p99=%.0fcyc\n",
 			tot.BatchedOps, tot.Gets, tot.Batches, tot.AvgBatch(), tot.Flushes(), tot.FlushRatio(), tot.CommitP99)
+		fmt.Fprintln(w, s.st.StripeSummary())
 		fmt.Fprintln(w, "END")
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")

@@ -59,8 +59,8 @@ func TestProtocolEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(lines) != opts.Shards+1 {
-		t.Fatalf("STATS: %d lines, want %d shard lines + total", len(lines), opts.Shards+1)
+	if len(lines) != opts.Shards+2 {
+		t.Fatalf("STATS: %d lines, want %d shard lines + total + stripes", len(lines), opts.Shards+2)
 	}
 	for i := 0; i < opts.Shards; i++ {
 		if !strings.HasPrefix(lines[i], "shard=") || !strings.Contains(lines[i], "flush_ratio=") {
@@ -69,6 +69,9 @@ func TestProtocolEndToEnd(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[opts.Shards], "total ops=4") { // 2 puts + 2 dels committed
 		t.Fatalf("STATS total line %q", lines[opts.Shards])
+	}
+	if !strings.HasPrefix(lines[opts.Shards+1], "stripes=") || !strings.Contains(lines[opts.Shards+1], "contention=") {
+		t.Fatalf("STATS stripes line %q", lines[opts.Shards+1])
 	}
 
 	step("QUIT", "BYE")

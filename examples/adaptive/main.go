@@ -57,7 +57,7 @@ func main() {
 	// burst and resizes itself mid-run.
 	pcfg := core.DefaultConfig()
 	pcfg.BurstLength = 2048
-	cf := core.NewCountingFlusher(nil)
+	cf := core.NewCountingSink(nil)
 	policy := core.NewPolicy(core.SoftCacheOnline, pcfg, cf)
 	core.RunSeq(policy, seq)
 	rep := policy.(core.SizeReporter).AdaptReport()

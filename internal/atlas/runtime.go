@@ -10,11 +10,19 @@
 // which delivers the identical event stream to the policy. Each Thread
 // also records its events as a trace.ThreadSeq so a workload executed once
 // can be replayed under every policy and cost model.
+//
+// Concurrency: each Thread owns its heap lines (single-writer-per-line;
+// see the pmem package comment), its undo log, its policy and its flush
+// sink, so the store hot path touches only thread-local state plus at most
+// one of the heap's dirty-state stripes. Runtime keeps its thread registry
+// in a copy-on-write slice behind an atomic pointer: FlushStats and Trace
+// walk a snapshot and never take a lock a mutator could be holding.
 package atlas
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nvmcache/internal/core"
 	"nvmcache/internal/pmem"
@@ -45,8 +53,11 @@ type Runtime struct {
 	heap *pmem.Heap
 	opts Options
 
-	mu      sync.Mutex
-	threads []*Thread
+	// threads is a copy-on-write registry: readers (FlushStats, Trace,
+	// Close) load the pointer and walk an immutable slice; NewThread copies
+	// under mu and swaps the pointer. Mutator threads never touch it.
+	threads atomic.Pointer[[]*Thread]
+	mu      sync.Mutex // serializes NewThread and Close
 	nextID  int32
 }
 
@@ -56,15 +67,21 @@ func NewRuntime(heap *pmem.Heap, opts Options) *Runtime {
 	if opts.LogEntries <= 0 {
 		opts.LogEntries = 1 << 12
 	}
-	return &Runtime{heap: heap, opts: opts}
+	rt := &Runtime{heap: heap, opts: opts}
+	rt.threads.Store(&[]*Thread{})
+	return rt
 }
 
 // Heap returns the underlying persistent heap.
 func (rt *Runtime) Heap() *pmem.Heap { return rt.heap }
 
+// snapshot returns the current immutable thread slice.
+func (rt *Runtime) snapshot() []*Thread { return *rt.threads.Load() }
+
 // NewThread registers a new mutator thread with its own software cache,
-// undo log and trace recorder. Threads are independent (no shared policy
-// state), mirroring the paper's per-thread, lock-free cache design.
+// undo log, flush sink and trace recorder. Threads are independent (no
+// shared policy state), mirroring the paper's per-thread, lock-free cache
+// design.
 func (rt *Runtime) NewThread() (*Thread, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -75,65 +92,76 @@ func (rt *Runtime) NewThread() (*Thread, error) {
 		return nil, fmt.Errorf("atlas: creating undo log for thread %d: %w", id, err)
 	}
 	t := &Thread{
-		id:       id,
-		rt:       rt,
-		log:      log,
-		counting: core.NewCountingFlusher(pmem.Flusher{H: rt.heap}),
+		id:   id,
+		rt:   rt,
+		heap: rt.heap,
+		log:  log,
+		sink: pmem.NewSink(rt.heap),
 	}
-	t.policy = core.NewPolicy(rt.opts.Policy, rt.opts.Config, t.counting)
+	t.policy = core.NewPolicy(rt.opts.Policy, rt.opts.Config, t.sink)
 	if !rt.opts.DisableTrace {
 		t.builder = trace.NewBuilder(id)
 		t.recording = true
 	}
-	rt.threads = append(rt.threads, t)
+	old := rt.snapshot()
+	next := make([]*Thread, len(old)+1)
+	copy(next, old)
+	next[len(old)] = t
+	rt.threads.Store(&next)
 	return t, nil
 }
 
 // Close finishes every thread: residual dirty state is drained so a clean
-// shutdown is durable.
+// shutdown is durable. The threads themselves must have stopped mutating.
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	for _, t := range rt.threads {
+	for _, t := range rt.snapshot() {
 		t.finish()
 	}
 }
 
 // Trace returns the recorded multi-thread trace (nil sequences are skipped
-// for threads created after DisableTrace).
+// for threads created after DisableTrace). Each call returns an
+// independent snapshot of everything recorded so far — a FASE still open
+// at the call is included as a sealed section of the snapshot — and
+// recording continues unaffected, so Trace may be called repeatedly
+// (mid-session or after Close). The threads must be quiescent (between
+// stores) during the call; Trace itself takes no lock a mutator could
+// contend on.
 func (rt *Runtime) Trace() *trace.Trace {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	seqs := make([]*trace.ThreadSeq, 0, len(rt.threads))
-	for _, t := range rt.threads {
+	threads := rt.snapshot()
+	seqs := make([]*trace.ThreadSeq, 0, len(threads))
+	for _, t := range threads {
 		if t.builder != nil {
-			seqs = append(seqs, t.builder.Finish())
+			seqs = append(seqs, t.builder.Snapshot())
 		}
 	}
 	return trace.NewTrace(seqs...)
 }
 
-// FlushStats sums the flush counters of all threads.
+// FlushStats sums the flush counters of all threads. Safe to call at any
+// time, including while mutators are storing: sink counters are atomic and
+// the registry walk is lock-free.
 func (rt *Runtime) FlushStats() core.FlushStats {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	var total core.FlushStats
-	for _, t := range rt.threads {
-		s := t.counting.Stats()
-		total.Async += s.Async
-		total.Drained += s.Drained
-		total.Barriers += s.Barriers
+	for _, t := range rt.snapshot() {
+		total = total.Add(t.sink.Stats())
 	}
 	return total
 }
 
 // Thread is one mutator's handle: all persistent stores of one goroutine
-// go through exactly one Thread. A Thread is not safe for concurrent use.
+// go through exactly one Thread. A Thread is not safe for concurrent use,
+// and distinct Threads must write disjoint cache lines (the
+// single-writer-per-line discipline pmem's lock-free data plane relies
+// on).
 type Thread struct {
 	id        int32
 	rt        *Runtime
+	heap      *pmem.Heap
 	policy    core.Policy
-	counting  *core.CountingFlusher
+	sink      *pmem.Sink
 	builder   *trace.Builder
 	recording bool
 	log       *undoLog
@@ -146,7 +174,7 @@ type Thread struct {
 func (t *Thread) ID() int32 { return t.id }
 
 // Heap returns the runtime's persistent heap.
-func (t *Thread) Heap() *pmem.Heap { return t.rt.heap }
+func (t *Thread) Heap() *pmem.Heap { return t.heap }
 
 // FASEBegin enters a failure-atomic section. Sections nest; only the
 // outermost pair delimits the atomicity and flush boundary, as in Atlas.
@@ -206,48 +234,61 @@ func (t *Thread) FASEAbort() error {
 func (t *Thread) InFASE() bool { return t.depth > 0 }
 
 // FlushStats returns this thread's flush counters (async, drained,
-// barriers). Only the owning goroutine may call it while the thread is
-// mutating; concurrent observers should snapshot it at FASE boundaries.
-func (t *Thread) FlushStats() core.FlushStats { return t.counting.Stats() }
+// barriers). The counters are atomic, so concurrent observers may read
+// them while the thread is mutating.
+func (t *Thread) FlushStats() core.FlushStats { return t.sink.Stats() }
 
 // Stores returns the number of persistent stores issued.
 func (t *Thread) Stores() int64 { return t.stores }
 
-// Store64 performs a persistent store of one 64-bit word: undo-log the old
-// value (write-ahead), apply the write to the volatile view, and hand the
-// line to the persistence policy. A store outside any FASE is treated as a
-// singleton FASE (Atlas flushes such "durable by next barrier" stores
-// promptly).
+// Store64 performs a persistent store of one 64-bit word as a single-entry
+// protocol: one bounds check, the volatile write (returning the old value
+// in the same heap access), the undo record, and the policy notify — at
+// most one striped heap lock on the whole path, and no lock is ever
+// re-acquired between steps.
+//
+// Ordering note: the volatile write lands before the undo record is
+// durable, which is safe in this model because the new value can only
+// reach the durable view through a line flush, and every flush of this
+// line is issued by this thread's policy at or after the notify below —
+// by which point the undo record (written through by record) is already
+// durable. A store outside any FASE is treated as a singleton FASE (Atlas
+// flushes such "durable by next barrier" stores promptly).
 func (t *Thread) Store64(addr uint64, v uint64) {
 	implicit := t.depth == 0
 	if implicit {
 		t.FASEBegin()
 	}
-	t.log.record(addr, t.rt.heap.ReadUint64(addr))
-	t.rt.heap.WriteUint64(addr, v)
+	old := t.heap.Store64(addr, v)
+	t.log.record(addr, old)
 	t.noteStore(addr, 8)
 	if implicit {
 		t.FASEEnd()
 	}
 }
 
-// StoreBytes performs a persistent store of an arbitrary byte range,
-// logging old contents word by word.
+// StoreBytes performs a persistent store of an arbitrary byte range:
+// bounds-checked once up front, old contents write-ahead-logged word by
+// word, then the byte write and the policy notify. The logged word range
+// is clamped to the heap (ReadWordClamped), so a store ending in the
+// heap's final bytes does not read past the end.
 func (t *Thread) StoreBytes(addr uint64, b []byte) {
 	if len(b) == 0 {
 		return
 	}
+	t.heap.CheckRange(addr, uint64(len(b)))
 	implicit := t.depth == 0
 	if implicit {
 		t.FASEBegin()
 	}
-	// Log the covered words (8-byte granules aligned down).
+	// Log the covered words (8-byte granules aligned down; the final word
+	// may overhang the stored range but never the heap).
 	start := addr &^ 7
 	end := addr + uint64(len(b))
 	for w := start; w < end; w += 8 {
-		t.log.record(w, t.rt.heap.ReadUint64(w))
+		t.log.record(w, t.heap.ReadWordClamped(w))
 	}
-	t.rt.heap.WriteBytes(addr, b)
+	t.heap.WriteBytes(addr, b)
 	t.noteStore(addr, uint64(len(b)))
 	if implicit {
 		t.FASEEnd()
@@ -256,10 +297,10 @@ func (t *Thread) StoreBytes(addr uint64, b []byte) {
 
 // Load64 reads a word (reads are not instrumented; the write-combining
 // cache considers only writes, Section III-A).
-func (t *Thread) Load64(addr uint64) uint64 { return t.rt.heap.ReadUint64(addr) }
+func (t *Thread) Load64(addr uint64) uint64 { return t.heap.ReadUint64(addr) }
 
 // LoadBytes reads a byte range.
-func (t *Thread) LoadBytes(addr, n uint64) []byte { return t.rt.heap.ReadBytes(addr, n) }
+func (t *Thread) LoadBytes(addr, n uint64) []byte { return t.heap.ReadBytes(addr, n) }
 
 func (t *Thread) noteStore(addr, size uint64) {
 	first := addr >> trace.LineShift

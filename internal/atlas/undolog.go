@@ -87,18 +87,22 @@ func newUndoLog(h *pmem.Heap, entries int) (*undoLog, error) {
 	}, nil
 }
 
-// begin opens a FASE: mark the log active before any data write.
+// begin opens a FASE: mark the log active before any data write. Log
+// writes are write-through (Write64Through): the log's lines belong to
+// this thread alone, the words are durable the instant they are written,
+// and the store hot path acquires no heap stripe for logging.
 func (l *undoLog) begin() {
 	l.count = 0
 	l.droppedFASE = 0
 	clear(l.dedup)
-	l.heap.WriteUint64(l.base+logStatusOff, 1)
-	l.heap.WriteUint64(l.base+logCountOff, 0)
-	l.heap.Persist(l.base, logHeaderSize)
+	l.heap.Write64Through(l.base+logCountOff, 0)
+	l.heap.Write64Through(l.base+logStatusOff, 1)
 }
 
 // record write-ahead-logs one word's old value. Each word is logged once
-// per FASE (the first old value is the one recovery must restore).
+// per FASE (the first old value is the one recovery must restore). The
+// entry is written through before the count that makes it visible to
+// recovery, preserving write-ahead ordering.
 func (l *undoLog) record(addr uint64, old uint64) {
 	word := addr &^ 7
 	if _, ok := l.dedup[word]; ok {
@@ -111,19 +115,16 @@ func (l *undoLog) record(addr uint64, old uint64) {
 		return
 	}
 	e := l.base + logHeaderSize + uint64(l.count)*logEntrySize
-	l.heap.WriteUint64(e, word)
-	l.heap.WriteUint64(e+8, old)
-	l.heap.Persist(e, logEntrySize)
+	l.heap.Write64Through(e, word)
+	l.heap.Write64Through(e+8, old)
 	l.count++
-	l.heap.WriteUint64(l.base+logCountOff, uint64(l.count))
-	l.heap.Persist(l.base+logCountOff, 8)
+	l.heap.Write64Through(l.base+logCountOff, uint64(l.count))
 }
 
 // commit closes the FASE after the policy drained the data writes.
 func (l *undoLog) commit() {
-	l.heap.WriteUint64(l.base+logStatusOff, 0)
-	l.heap.WriteUint64(l.base+logCountOff, 0)
-	l.heap.Persist(l.base, logHeaderSize)
+	l.heap.Write64Through(l.base+logStatusOff, 0)
+	l.heap.Write64Through(l.base+logCountOff, 0)
 	l.count = 0
 	clear(l.dedup)
 }

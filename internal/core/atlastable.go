@@ -11,18 +11,18 @@ import "nvmcache/internal/trace"
 // different address, that address is flushed and replaced; the whole table
 // is flushed at the end of a FASE.
 type atlasPolicy struct {
-	f        Flusher
+	sink     FlushSink
 	slots    []trace.LineAddr
 	occupied []bool
 }
 
-func newAtlasPolicy(cfg Config, f Flusher) *atlasPolicy {
+func newAtlasPolicy(cfg Config, sink FlushSink) *atlasPolicy {
 	n := cfg.AtlasTableSize
 	if n < 1 {
 		n = 8
 	}
 	return &atlasPolicy{
-		f:        f,
+		sink:     sink,
 		slots:    make([]trace.LineAddr, n),
 		occupied: make([]bool, n),
 	}
@@ -44,7 +44,7 @@ func (p *atlasPolicy) Store(line trace.LineAddr) {
 		if p.slots[i] == line {
 			return // combined
 		}
-		p.f.FlushAsync(p.slots[i]) // conflict eviction
+		p.sink.FlushLine(p.slots[i]) // conflict eviction
 	}
 	p.slots[i] = line
 	p.occupied[i] = true
@@ -60,7 +60,7 @@ func (p *atlasPolicy) FASEEnd() {
 			p.occupied[i] = false
 		}
 	}
-	p.f.FlushDrain(lines)
+	p.sink.Drain(lines)
 }
 
 func (p *atlasPolicy) Finish() { p.FASEEnd() }

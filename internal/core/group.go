@@ -74,7 +74,7 @@ func (p *groupLeaderPolicy) Finish() {
 // group's published size at FASE boundaries (resizing mid-FASE would
 // interleave extra evictions into the section for no benefit).
 type groupFollowerPolicy struct {
-	f       Flusher
+	sink    FlushSink
 	cache   *WriteCache
 	group   *GroupSize
 	seen    int // last adopted round
@@ -85,7 +85,7 @@ func (p *groupFollowerPolicy) Kind() PolicyKind { return SoftCacheOnline }
 
 func (p *groupFollowerPolicy) Store(line trace.LineAddr) {
 	if _, evicted, has := p.cache.Access(line); has {
-		p.f.FlushAsync(evicted)
+		p.sink.FlushLine(evicted)
 	}
 }
 
@@ -93,14 +93,14 @@ func (p *groupFollowerPolicy) FASEBegin() {
 	if size, round := p.group.current(); round != p.seen {
 		p.seen = round
 		for _, line := range p.cache.Resize(size) {
-			p.f.FlushAsync(line)
+			p.sink.FlushLine(line)
 		}
 	}
 }
 
 func (p *groupFollowerPolicy) FASEEnd() {
 	if lines := p.cache.Drain(); len(lines) > 0 {
-		p.f.FlushDrain(lines)
+		p.sink.Drain(lines)
 	}
 }
 
@@ -119,11 +119,11 @@ func (p *groupFollowerPolicy) AdaptReport() AdaptReport {
 
 // NewGroupedPolicies builds one leader plus n-1 follower policies sharing
 // a single MRC analysis, one per thread of a locality-homogeneous group.
-// flushers[i] is thread i's flush sink (thread 0 is the leader).
-func NewGroupedPolicies(cfg Config, flushers []Flusher) []Policy {
+// sinks[i] is thread i's flush sink (thread 0 is the leader).
+func NewGroupedPolicies(cfg Config, sinks []FlushSink) []Policy {
 	group := &GroupSize{}
-	out := make([]Policy, len(flushers))
-	for i, f := range flushers {
+	out := make([]Policy, len(sinks))
+	for i, f := range sinks {
 		if i == 0 {
 			out[i] = &groupLeaderPolicy{
 				softCachePolicy: newSoftCachePolicy(cfg, f, true),
@@ -136,7 +136,7 @@ func NewGroupedPolicies(cfg Config, flushers []Flusher) []Policy {
 			size = 8
 		}
 		out[i] = &groupFollowerPolicy{
-			f:       f,
+			sink:    f,
 			cache:   NewWriteCache(size),
 			group:   group,
 			initial: size,

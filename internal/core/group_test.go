@@ -27,10 +27,10 @@ func TestGroupedAdaptationPropagates(t *testing.T) {
 	const threads, ws = 4, 20
 	cfg := DefaultConfig()
 	cfg.BurstLength = ws * 30
-	flushers := make([]Flusher, threads)
-	counters := make([]*CountingFlusher, threads)
+	flushers := make([]FlushSink, threads)
+	counters := make([]*CountingSink, threads)
 	for i := range flushers {
-		counters[i] = NewCountingFlusher(nil)
+		counters[i] = NewCountingSink(nil)
 		flushers[i] = counters[i]
 	}
 	policies := NewGroupedPolicies(cfg, flushers)
@@ -87,9 +87,9 @@ func TestGroupedAdaptationPropagates(t *testing.T) {
 func TestGroupedFollowerAdoptsAtFASEBoundary(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.BurstLength = 64
-	lead := NewCountingFlusher(nil)
-	foll := &RecordingFlusher{}
-	policies := NewGroupedPolicies(cfg, []Flusher{lead, foll})
+	lead := NewCountingSink(nil)
+	foll := &RecordingSink{}
+	policies := NewGroupedPolicies(cfg, []FlushSink{lead, foll})
 
 	// Leader runs first (sequential here): samples a 20-line working set
 	// and publishes its choice.
@@ -118,8 +118,8 @@ func TestGroupedFollowerAdoptsAtFASEBoundary(t *testing.T) {
 func TestGroupedShrinkFlushesEvictions(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Knee.DefaultSize = 10
-	rf := &RecordingFlusher{}
-	policies := NewGroupedPolicies(cfg, []Flusher{NewCountingFlusher(nil), rf})
+	rf := &RecordingSink{}
+	policies := NewGroupedPolicies(cfg, []FlushSink{NewCountingSink(nil), rf})
 	f := policies[1].(*groupFollowerPolicy)
 	f.FASEBegin()
 	for l := trace.LineAddr(0); l < 10; l++ {

@@ -8,10 +8,10 @@ import (
 	"nvmcache/internal/trace"
 )
 
-// Flusher is the sink for cache-line write-backs. Implementations decide
-// what a flush costs: internal/hwsim charges cycles and models overlap,
-// internal/pmem actually persists line contents, and CountingFlusher just
-// counts for flush-ratio experiments.
+// Flusher is the raw flush device: implementations decide what a flush
+// costs (internal/hwsim charges cycles and models overlap). Policies do
+// not use it directly — they talk to a FlushSink; CountingSink bridges a
+// sink onto a device.
 type Flusher interface {
 	// FlushAsync writes one line back without waiting; the transfer may
 	// overlap with subsequent computation (a mid-FASE eviction).
@@ -20,6 +20,26 @@ type Flusher interface {
 	// every previously issued asynchronous flush are durable (the FASE-end
 	// drain). lines may be empty, in which case it acts as a barrier.
 	FlushDrain(lines []trace.LineAddr)
+}
+
+// FlushSink is what a persistence policy is wired to: the seam between
+// policy logic (what to flush, when) and flush execution (what it costs,
+// where the bytes go). Implementations: CountingSink (pure counting, or
+// counting in front of a Flusher device), pmem.Sink (actually persists
+// line contents), hwsim.Sink (replays flushes through the cycle-level
+// cache model). A sink belongs to one thread's policy; only Stats must
+// tolerate concurrent readers.
+type FlushSink interface {
+	// FlushLine writes one line back without waiting; the transfer may
+	// overlap with subsequent computation (a mid-FASE eviction).
+	FlushLine(line trace.LineAddr)
+	// Drain writes the given lines back and then waits until they and every
+	// previously issued asynchronous flush are durable (the FASE-end
+	// drain). lines may be empty, in which case it acts as a barrier.
+	Drain(lines []trace.LineAddr)
+	// Stats reports cumulative flush counts. It may be called from other
+	// goroutines while the owning thread is storing.
+	Stats() FlushStats
 }
 
 // PolicyKind names the six persistence techniques of Section IV-A.
@@ -80,7 +100,7 @@ type Policy interface {
 	// FASEBegin marks the start of an outermost failure-atomic section.
 	FASEBegin()
 	// FASEEnd marks the end of an outermost section. On return, every line
-	// stored during the FASE must have been handed to the Flusher and
+	// stored during the FASE must have been handed to the FlushSink and
 	// drained — the persistence guarantee — except for Best, which is
 	// deliberately unsound.
 	FASEEnd()
@@ -121,19 +141,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// NewPolicy constructs a policy of the given kind over the flusher.
-func NewPolicy(kind PolicyKind, cfg Config, f Flusher) Policy {
+// NewPolicy constructs a policy of the given kind over the flush sink.
+func NewPolicy(kind PolicyKind, cfg Config, sink FlushSink) Policy {
 	switch kind {
 	case Eager:
-		return &eagerPolicy{f: f}
+		return &eagerPolicy{sink: sink}
 	case Lazy:
-		return newLazyPolicy(f)
+		return newLazyPolicy(sink)
 	case AtlasTable:
-		return newAtlasPolicy(cfg, f)
+		return newAtlasPolicy(cfg, sink)
 	case SoftCacheOnline:
-		return newSoftCachePolicy(cfg, f, true)
+		return newSoftCachePolicy(cfg, sink, true)
 	case SoftCacheOffline:
-		return newSoftCachePolicy(cfg, f, false)
+		return newSoftCachePolicy(cfg, sink, false)
 	case Best:
 		return &bestPolicy{}
 	default:
@@ -144,31 +164,31 @@ func NewPolicy(kind PolicyKind, cfg Config, f Flusher) Policy {
 // eagerPolicy flushes at every store. Cheap per event, catastrophic in
 // aggregate: Table I's 22× average slowdown.
 type eagerPolicy struct {
-	f Flusher
+	sink FlushSink
 }
 
 func (p *eagerPolicy) Kind() PolicyKind { return Eager }
 
-func (p *eagerPolicy) Store(line trace.LineAddr) { p.f.FlushAsync(line) }
+func (p *eagerPolicy) Store(line trace.LineAddr) { p.sink.FlushLine(line) }
 
 func (p *eagerPolicy) FASEBegin() {}
 
 // FASEEnd waits for outstanding asynchronous flushes so the FASE's
 // persistence guarantee holds.
-func (p *eagerPolicy) FASEEnd() { p.f.FlushDrain(nil) }
+func (p *eagerPolicy) FASEEnd() { p.sink.Drain(nil) }
 
-func (p *eagerPolicy) Finish() { p.f.FlushDrain(nil) }
+func (p *eagerPolicy) Finish() { p.sink.Drain(nil) }
 
 // lazyPolicy records each FASE's distinct dirty lines and drains them all
 // at FASE end: minimal flushes, maximal stall.
 type lazyPolicy struct {
-	f     Flusher
+	sink  FlushSink
 	seen  map[trace.LineAddr]struct{}
 	order []trace.LineAddr
 }
 
-func newLazyPolicy(f Flusher) *lazyPolicy {
-	return &lazyPolicy{f: f, seen: make(map[trace.LineAddr]struct{}, 256)}
+func newLazyPolicy(sink FlushSink) *lazyPolicy {
+	return &lazyPolicy{sink: sink, seen: make(map[trace.LineAddr]struct{}, 256)}
 }
 
 func (p *lazyPolicy) Kind() PolicyKind { return Lazy }
@@ -187,7 +207,7 @@ func (p *lazyPolicy) FASEEnd() {
 	if len(p.order) == 0 {
 		return
 	}
-	p.f.FlushDrain(p.order)
+	p.sink.Drain(p.order)
 	p.order = p.order[:0]
 	clear(p.seen)
 }

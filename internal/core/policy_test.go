@@ -58,7 +58,7 @@ func TestLazyFlushesDistinctPerFASE(t *testing.T) {
 }
 
 func TestLazyDrainsOnlyAtFASEEnd(t *testing.T) {
-	rf := &RecordingFlusher{}
+	rf := &RecordingSink{}
 	p := NewPolicy(Lazy, DefaultConfig(), rf)
 	p.FASEBegin()
 	p.Store(1)
@@ -81,7 +81,7 @@ func TestBestNeverFlushes(t *testing.T) {
 }
 
 func TestAtlasCombinesWithinSlot(t *testing.T) {
-	rf := &RecordingFlusher{}
+	rf := &RecordingSink{}
 	p := NewPolicy(AtlasTable, DefaultConfig(), rf)
 	p.FASEBegin()
 	p.Store(1)
@@ -131,7 +131,7 @@ func TestAtlasPersistentArrayRatio(t *testing.T) {
 }
 
 func TestSoftCacheEvictionFlushesLRU(t *testing.T) {
-	rf := &RecordingFlusher{}
+	rf := &RecordingSink{}
 	cfg := DefaultConfig()
 	cfg.PresetSize = 2
 	p := NewPolicy(SoftCacheOffline, cfg, rf)
@@ -164,7 +164,7 @@ func TestSoftCacheOnlineAdaptsToWorkingSet(t *testing.T) {
 
 	cfg := DefaultConfig()
 	cfg.BurstLength = 26 * 40 // adapt early in the run
-	cf := NewCountingFlusher(nil)
+	cf := NewCountingSink(nil)
 	p := NewPolicy(SoftCacheOnline, cfg, cf)
 	RunSeq(p, tr.Threads[0])
 
@@ -191,7 +191,7 @@ func TestSoftCacheOnlineShortTraceAdaptsAtFinish(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.BurstLength = 1 << 20 // longer than the trace
 	tr := buildTrace([]trace.LineAddr{1, 2, 1, 2, 1, 2})
-	cf := NewCountingFlusher(nil)
+	cf := NewCountingSink(nil)
 	p := NewPolicy(SoftCacheOnline, cfg, cf)
 	RunSeq(p, tr.Threads[0])
 	rep := p.(SizeReporter).AdaptReport()
@@ -206,7 +206,7 @@ func TestSoftCacheOnlineShortTraceAdaptsAtFinish(t *testing.T) {
 func TestSoftCacheOfflinePresetSize(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PresetSize = 23
-	p := NewPolicy(SoftCacheOffline, cfg, NewCountingFlusher(nil))
+	p := NewPolicy(SoftCacheOffline, cfg, NewCountingSink(nil))
 	rep := p.(SizeReporter).AdaptReport()
 	if rep.ChosenSize != 23 || rep.Online {
 		t.Fatalf("report = %+v", rep)
@@ -244,7 +244,7 @@ func TestQuickWriteBackCompleteness(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.BurstLength = 16
 			cfg.PresetSize = 1 + rng.Intn(6)
-			rf := &RecordingFlusher{}
+			rf := &RecordingSink{}
 			p := NewPolicy(kind, cfg, rf)
 			for i := 0; i < s.NumFASEs(); i++ {
 				asyncMark, drainMark := len(rf.AsyncLines), len(rf.DrainLines)
@@ -320,17 +320,28 @@ func TestQuickLazyEqualsLowerBound(t *testing.T) {
 	}
 }
 
-func TestCountingFlusherForwarding(t *testing.T) {
-	inner := &RecordingFlusher{}
-	outer := NewCountingFlusher(inner)
-	outer.FlushAsync(4)
-	outer.FlushDrain([]trace.LineAddr{5, 6})
-	outer.FlushDrain(nil)
+// recordingDevice is a minimal Flusher device capturing forwarded calls.
+type recordingDevice struct {
+	async []trace.LineAddr
+	drain []trace.LineAddr
+}
+
+func (d *recordingDevice) FlushAsync(line trace.LineAddr) { d.async = append(d.async, line) }
+func (d *recordingDevice) FlushDrain(lines []trace.LineAddr) {
+	d.drain = append(d.drain, lines...)
+}
+
+func TestCountingSinkForwarding(t *testing.T) {
+	inner := &recordingDevice{}
+	outer := NewCountingSink(inner)
+	outer.FlushLine(4)
+	outer.Drain([]trace.LineAddr{5, 6})
+	outer.Drain(nil)
 	st := outer.Stats()
 	if st.Async != 1 || st.Drained != 2 || st.Barriers != 1 || st.Total() != 3 {
 		t.Fatalf("stats %+v", st)
 	}
-	if len(inner.AsyncLines) != 1 || len(inner.DrainLines) != 2 {
+	if len(inner.async) != 1 || len(inner.drain) != 2 {
 		t.Fatal("forwarding broken")
 	}
 	outer.Reset()

@@ -18,7 +18,7 @@ import (
 // configuration the capacity is fixed to cfg.PresetSize (or the default
 // when unset) and no sampling happens.
 type softCachePolicy struct {
-	f      Flusher
+	sink   FlushSink
 	cache  *WriteCache
 	cfg    Config
 	online bool
@@ -54,7 +54,7 @@ type SizeReporter interface {
 	AdaptReport() AdaptReport
 }
 
-func newSoftCachePolicy(cfg Config, f Flusher, online bool) *softCachePolicy {
+func newSoftCachePolicy(cfg Config, sink FlushSink, online bool) *softCachePolicy {
 	size := cfg.Knee.DefaultSize
 	if size <= 0 {
 		size = locality.DefaultKneeConfig().DefaultSize
@@ -63,7 +63,7 @@ func newSoftCachePolicy(cfg Config, f Flusher, online bool) *softCachePolicy {
 		size = cfg.PresetSize
 	}
 	p := &softCachePolicy{
-		f:      f,
+		sink:   sink,
 		cache:  NewWriteCache(size),
 		cfg:    cfg,
 		online: online,
@@ -93,7 +93,7 @@ func (p *softCachePolicy) Store(line trace.LineAddr) {
 		}
 	}
 	if _, evicted, has := p.cache.Access(line); has {
-		p.f.FlushAsync(evicted)
+		p.sink.FlushLine(evicted)
 	}
 }
 
@@ -107,7 +107,7 @@ func (p *softCachePolicy) FASEEnd() {
 	if len(lines) == 0 {
 		return
 	}
-	p.f.FlushDrain(lines)
+	p.sink.Drain(lines)
 }
 
 func (p *softCachePolicy) Finish() {
@@ -132,7 +132,7 @@ func (p *softCachePolicy) adapt() {
 	mrc := locality.MRCFromReuse(locality.ReuseAll(burst), p.cfg.Knee.MaxSize)
 	size := locality.SelectSize(mrc, p.cfg.Knee)
 	for _, line := range p.cache.Resize(size) {
-		p.f.FlushAsync(line)
+		p.sink.FlushLine(line)
 	}
 	p.report.Adapted = true
 	p.report.Adaptations++

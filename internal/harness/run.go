@@ -191,12 +191,11 @@ func Run(w *Workload, kind core.PolicyKind, opt RunOptions) (Result, error) {
 				rng = rand.New(rand.NewSource(opt.Seed + int64(ti) + 1))
 			}
 			engine := hwsim.NewEngine(cm, opt.Threads)
-			var flusher core.Flusher = engine
+			var sink core.FlushSink = hwsim.NewSink(engine)
 			if l1 != nil {
-				flusher = l1Flusher{l1: l1, next: engine}
+				sink = core.NewCountingSink(l1Flusher{l1: l1, next: engine})
 			}
-			counting := core.NewCountingFlusher(flusher)
-			policy := core.NewPolicy(kind, cfg, counting)
+			policy := core.NewPolicy(kind, cfg, sink)
 			for i := 0; i < s.NumFASEs(); i++ {
 				engine.OnFASEBoundary()
 				policy.FASEBegin()
@@ -251,7 +250,7 @@ func Run(w *Workload, kind core.PolicyKind, opt RunOptions) (Result, error) {
 			res.Stats.Instructions += st.Instructions
 			res.Stats.FASEs += st.FASEs
 			res.Stores += st.Stores
-			res.Flushes += counting.Stats().Total()
+			res.Flushes += sink.Stats().Total()
 		}(ti, s)
 	}
 	wg.Wait()

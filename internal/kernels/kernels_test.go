@@ -134,7 +134,7 @@ func TestKernelAdaptiveSelection(t *testing.T) {
 	}
 	cfg := core.DefaultConfig()
 	cfg.BurstLength = 1024
-	p := core.NewPolicy(core.SoftCacheOnline, cfg, core.NewCountingFlusher(nil))
+	p := core.NewPolicy(core.SoftCacheOnline, cfg, core.NewCountingSink(nil))
 	core.RunSeq(p, res.Trace.Threads[0])
 	rep := p.(core.SizeReporter).AdaptReport()
 	if !rep.Adapted {

@@ -9,6 +9,7 @@ import (
 
 	"nvmcache/internal/core"
 	"nvmcache/internal/hwsim"
+	"nvmcache/internal/pmem"
 )
 
 // latRingCap bounds the per-shard commit-latency sample buffer: percentiles
@@ -171,6 +172,18 @@ func (s *Store) Stats() []ShardStats {
 		out[i] = sh.stats()
 	}
 	return out
+}
+
+// StripeStats snapshots the heap's per-stripe lock counters: the residual
+// cross-shard serialization of the sharded dirty-state control plane
+// (shard writers own disjoint lines, so contention here is hash collisions
+// on stripes, not data conflicts). Exported through the server's STATS
+// verb.
+func (s *Store) StripeStats() []pmem.StripeStat { return s.heap.StripeStats() }
+
+// StripeSummary aggregates the heap's stripe counters.
+func (s *Store) StripeSummary() pmem.StripeSummary {
+	return pmem.SummarizeStripes(s.heap.StripeStats())
 }
 
 // Totals aggregates shard stats (percentiles are the max across shards —

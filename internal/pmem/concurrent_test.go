@@ -1,0 +1,214 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"nvmcache/internal/trace"
+)
+
+func TestStore64ReturnsOldValue(t *testing.T) {
+	h := New(1024)
+	a, _ := h.Alloc(8)
+	h.WriteUint64(a, 11)
+	if old := h.Store64(a, 22); old != 11 {
+		t.Fatalf("Store64 old = %d, want 11", old)
+	}
+	if h.ReadUint64(a) != 22 {
+		t.Fatal("Store64 did not write")
+	}
+	if !h.isDirty(trace.LineOf(a)) {
+		t.Fatal("Store64 did not mark the line dirty")
+	}
+}
+
+func TestWrite64ThroughIsDurableAndClean(t *testing.T) {
+	h := New(1024)
+	a, _ := h.AllocLines(8)
+	h.Write64Through(a, 77)
+	if h.PersistedUint64(a) != 77 {
+		t.Fatal("write-through not durable")
+	}
+	if h.isDirty(trace.LineOf(a)) {
+		t.Fatal("write-through marked the line dirty")
+	}
+	h.Crash()
+	if h.ReadUint64(a) != 77 {
+		t.Fatal("write-through lost in crash")
+	}
+}
+
+func TestReadWordClamped(t *testing.T) {
+	h := New(128)
+	end := h.Size()
+	h.WriteBytes(end-3, []byte{0xaa, 0xbb, 0xcc})
+	// Aligned word fully inside: same as ReadUint64.
+	if h.ReadWordClamped(end-8) != h.ReadUint64(end-8) {
+		t.Fatal("in-bounds clamped read differs from ReadUint64")
+	}
+	// Word overhanging the end: missing bytes read as zero.
+	got := h.ReadWordClamped(end - 3)
+	want := uint64(0xaa) | uint64(0xbb)<<8 | uint64(0xcc)<<16
+	if got != want {
+		t.Fatalf("clamped read = %#x, want %#x", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("clamped read at heap end did not panic")
+		}
+	}()
+	h.ReadWordClamped(end)
+}
+
+func TestCheckConsistency(t *testing.T) {
+	h := New(1024)
+	a, _ := h.AllocLines(16)
+	h.WriteUint64(a, 5)
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatalf("dirty divergence reported as inconsistency: %v", err)
+	}
+	h.PersistAll()
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatalf("clean heap inconsistent: %v", err)
+	}
+	// Corrupt the durable view behind the heap's back: a clean line that
+	// diverges must be caught.
+	h.persisted[a] ^= 0xff
+	if err := h.CheckConsistency(); err == nil {
+		t.Fatal("corrupted clean line not detected")
+	}
+}
+
+func TestStripeStatsCountAcquisitions(t *testing.T) {
+	h := New(64 * 1024)
+	a, _ := h.AllocLines(trace.LineSize)
+	before := SummarizeStripes(h.StripeStats()).Acquired
+	const stores = 100
+	for i := 0; i < stores; i++ {
+		h.Store64(a, uint64(i))
+	}
+	sum := SummarizeStripes(h.StripeStats())
+	if sum.Acquired < before+stores {
+		t.Fatalf("acquired %d, want ≥ %d", sum.Acquired, before+stores)
+	}
+	if sum.Stripes != NumStripes {
+		t.Fatalf("stripes %d", sum.Stripes)
+	}
+	if s := sum.String(); s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestParallelDisjointLines exercises the lock-free data plane under the
+// race detector: goroutines own disjoint line ranges and store/flush
+// concurrently, the single-writer-per-line discipline. Run with -race.
+func TestParallelDisjointLines(t *testing.T) {
+	h := New(1 << 20)
+	const workers = 8
+	const linesPer = 64
+	bases := make([]uint64, workers)
+	for i := range bases {
+		a, err := h.AllocLines(linesPer * trace.LineSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases[i] = a
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := bases[w]
+			for i := 0; i < 2000; i++ {
+				off := uint64(i%(linesPer*8)) * 8
+				h.Store64(base+off, uint64(w)<<32|uint64(i))
+				if i%7 == 0 {
+					h.FlushLine(trace.LineOf(base + off))
+				}
+				if i%31 == 0 {
+					_ = h.PersistedUint64(base + off)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.PersistAll()
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		got := h.ReadUint64(bases[w])
+		if got>>32 != uint64(w) {
+			t.Fatalf("worker %d data corrupted: %#x", w, got)
+		}
+	}
+}
+
+// TestDifferentialSerialOracle drives the sharded Heap and the coarse-mutex
+// SerialHeap with one random operation sequence and demands byte-identical
+// volatile and durable views at every crash and at the end.
+func TestDifferentialSerialOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(2048)
+		s := NewSerial(2048)
+		ha, _ := h.AllocLines(1024)
+		sa, _ := s.AllocLines(1024)
+		if ha != sa {
+			return false
+		}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(8) {
+			case 0, 1, 2:
+				off := uint64(rng.Intn(127)) * 8
+				v := rng.Uint64()
+				if h.Store64(ha+off, v) != s.Store64(sa+off, v) {
+					return false
+				}
+			case 3:
+				off := uint64(rng.Intn(1016))
+				b := make([]byte, 1+rng.Intn(8))
+				rng.Read(b)
+				h.WriteBytes(ha+off, b)
+				s.WriteBytes(sa+off, b)
+			case 4:
+				l := trace.LineOf(ha + uint64(rng.Intn(16))*trace.LineSize)
+				h.FlushLine(l)
+				s.FlushLine(l)
+			case 5:
+				off := uint64(rng.Intn(127)) * 8
+				v := rng.Uint64()
+				h.Write64Through(ha+off, v)
+				s.Write64Through(sa+off, v)
+			case 6:
+				h.Crash()
+				s.Crash()
+			case 7:
+				off := uint64(rng.Intn(127)) * 8
+				if h.PersistedUint64(ha+off) != s.PersistedUint64(sa+off) {
+					return false
+				}
+			}
+		}
+		h.PersistAll()
+		s.PersistAll()
+		if h.CheckConsistency() != nil || s.CheckConsistency() != nil {
+			return false
+		}
+		for off := uint64(0); off < 1024; off += 8 {
+			if h.ReadUint64(ha+off) != s.ReadUint64(sa+off) {
+				return false
+			}
+			if h.PersistedUint64(ha+off) != s.PersistedUint64(sa+off) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,12 +10,41 @@
 // Addresses are offsets into the heap. Offset 0 holds a 64-byte header
 // (root pointer, allocator cursor, runtime-metadata pointer), so valid
 // object addresses start at HeaderSize.
+//
+// # Concurrency architecture
+//
+// Heap is split into a lock-free data plane and a lock-striped control
+// plane, so the store→flush hot path never serializes on a global mutex:
+//
+//   - Data plane: the volatile and persisted byte arrays. Reads and writes
+//     go straight to memory with a bounds check and no lock. Correctness
+//     rests on the single-writer-per-line discipline: every cache line
+//     above the header is owned by at most one goroutine at a time (an
+//     atlas.Thread or a kv shard writer), and only the owner writes or
+//     flushes it. Stable (committed, unowned) lines may be read by anyone —
+//     that is how kv snapshot readers work.
+//   - Control plane: per-line dirty state, sharded over NumStripes
+//     lock-striped maps keyed by line address. A store acquires exactly one
+//     stripe (to mark its line dirty); stores to different lines hit
+//     different stripes with probability (NumStripes-1)/NumStripes.
+//   - Header plane: the root/alloc/meta words of line 0 are guarded by a
+//     dedicated mutex and written through to the persisted view (they are
+//     never dirty).
+//
+// Whole-heap operations — Crash, PersistAll, CheckConsistency — require
+// the data plane to be externally quiesced (no goroutine mid-store); they
+// then take every stripe in index order, so they are mutually exclusive
+// with any straggling dirty-marking or flushing.
+//
+// SerialHeap (serial.go) is the original coarse-mutex implementation, kept
+// as a strictly-serialized oracle for differential tests.
 package pmem
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nvmcache/internal/trace"
 )
@@ -30,15 +59,50 @@ const (
 	metaOff  = 16
 )
 
-// Heap is one emulated NVRAM region. All methods are safe for concurrent
-// use (one coarse mutex — the heap is the functional substrate; timing is
-// measured by trace replay through internal/hwsim, never through here).
+// NumStripes is the number of dirty-state lock stripes. Lines are spread
+// over stripes by a multiplicative (Fibonacci) hash rather than line mod
+// NumStripes: threads typically own contiguous, identically-sized regions,
+// and a modulo mapping would send every thread's k-th line to the same
+// stripe — lockstep mutators would then convoy on one stripe after
+// another. The hash decorrelates equal offsets in different regions.
+const (
+	NumStripes  = 64
+	stripeShift = 58 // 64 - log2(NumStripes)
+	fibMix      = 0x9e3779b97f4a7c15
+)
+
+// stripe is one shard of the dirty-line control plane.
+type stripe struct {
+	mu    sync.Mutex
+	dirty map[trace.LineAddr]struct{}
+	// acquired counts lock acquisitions; it is mutated only under mu.
+	acquired int64
+	// contended counts acquisitions that found the lock held (updated
+	// before blocking, hence atomic).
+	contended atomic.Int64
+
+	_ [32]byte // pad to 64 bytes: keep stripes off each other's cache lines
+}
+
+// lock acquires the stripe, counting contention.
+func (st *stripe) lock() {
+	if !st.mu.TryLock() {
+		st.contended.Add(1)
+		st.mu.Lock()
+	}
+	st.acquired++
+}
+
+// Heap is one emulated NVRAM region. Data-plane methods (reads, writes,
+// line flushes) are lock-free over the byte arrays and safe for concurrent
+// use under the single-writer-per-line discipline documented above;
+// whole-heap methods additionally require quiescence.
 type Heap struct {
-	mu        sync.Mutex
 	mem       []byte // volatile view: program reads and writes land here
 	persisted []byte // durable view: updated only by line flushes
-	dirty     map[trace.LineAddr]struct{}
-	crashes   int
+	hdr       sync.Mutex
+	stripes   [NumStripes]stripe
+	crashes   atomic.Int64
 }
 
 // New creates a heap of the given size (rounded up to a whole number of
@@ -53,10 +117,12 @@ func New(size int) *Heap {
 	h := &Heap{
 		mem:       make([]byte, size),
 		persisted: make([]byte, size),
-		dirty:     make(map[trace.LineAddr]struct{}, 1024),
+	}
+	for i := range h.stripes {
+		h.stripes[i].dirty = make(map[trace.LineAddr]struct{}, 16)
 	}
 	binary.LittleEndian.PutUint64(h.mem[allocOff:], HeaderSize)
-	h.persistLocked(0, HeaderSize)
+	copy(h.persisted[:HeaderSize], h.mem[:HeaderSize])
 	return h
 }
 
@@ -69,6 +135,16 @@ func (h *Heap) check(addr, n uint64) {
 	}
 }
 
+// CheckRange panics if [addr, addr+n) is not inside the heap; callers use
+// it to validate a composite operation once up front.
+func (h *Heap) CheckRange(addr, n uint64) { h.check(addr, n) }
+
+func (h *Heap) stripeOf(line trace.LineAddr) *stripe {
+	return &h.stripes[(uint64(line)*fibMix)>>stripeShift]
+}
+
+// markDirty records the lines covering [addr, addr+n) as dirty, one stripe
+// acquisition per line (one total for any store within a single line).
 func (h *Heap) markDirty(addr, n uint64) {
 	if n == 0 {
 		return
@@ -76,29 +152,30 @@ func (h *Heap) markDirty(addr, n uint64) {
 	first := addr >> trace.LineShift
 	last := (addr + n - 1) >> trace.LineShift
 	for l := first; l <= last; l++ {
-		h.dirty[trace.LineAddr(l)] = struct{}{}
+		line := trace.LineAddr(l)
+		st := h.stripeOf(line)
+		st.lock()
+		st.dirty[line] = struct{}{}
+		st.mu.Unlock()
 	}
 }
 
-// flushLineLocked copies one line to the durable view. Caller holds mu.
-func (h *Heap) flushLineLocked(line trace.LineAddr) {
+// flushLine copies one line to the durable view and clears its dirty mark,
+// holding only that line's stripe.
+func (h *Heap) flushLine(line trace.LineAddr) {
 	start := line.ByteAddr()
 	h.check(start, trace.LineSize)
+	st := h.stripeOf(line)
+	st.lock()
 	copy(h.persisted[start:start+trace.LineSize], h.mem[start:start+trace.LineSize])
-	delete(h.dirty, line)
+	delete(st.dirty, line)
+	st.mu.Unlock()
 }
 
-// persistLocked flushes every line covering [addr, addr+n). Caller holds mu.
-func (h *Heap) persistLocked(addr, n uint64) {
-	if n == 0 {
-		return
-	}
-	h.check(addr, n)
-	first := addr >> trace.LineShift
-	last := (addr + n - 1) >> trace.LineShift
-	for l := first; l <= last; l++ {
-		h.flushLineLocked(trace.LineAddr(l))
-	}
+// persistHeaderLocked writes line 0 through to the durable view. Caller
+// holds hdr.
+func (h *Heap) persistHeaderLocked() {
+	copy(h.persisted[:HeaderSize], h.mem[:HeaderSize])
 }
 
 func (h *Heap) allocLocked(n uint64) (uint64, error) {
@@ -110,8 +187,7 @@ func (h *Heap) allocLocked(n uint64) (uint64, error) {
 		return 0, fmt.Errorf("pmem: out of memory allocating %d bytes (cursor %d, heap %d)", n, cur, len(h.mem))
 	}
 	binary.LittleEndian.PutUint64(h.mem[allocOff:], cur+n)
-	h.markDirty(allocOff, 8)
-	h.persistLocked(0, HeaderSize)
+	h.persistHeaderLocked()
 	return cur, nil
 }
 
@@ -121,16 +197,16 @@ func (h *Heap) allocLocked(n uint64) (uint64, error) {
 // Makalu is out of scope; see DESIGN.md). Alloc fails when the heap is
 // exhausted.
 func (h *Heap) Alloc(n uint64) (uint64, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.hdr.Lock()
+	defer h.hdr.Unlock()
 	return h.allocLocked(n)
 }
 
 // AllocLines allocates n bytes aligned to a cache-line boundary, so the
 // object's lines are not shared with neighbours.
 func (h *Heap) AllocLines(n uint64) (uint64, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.hdr.Lock()
+	defer h.hdr.Unlock()
 	aligned := (binary.LittleEndian.Uint64(h.mem[allocOff:]) + 7) &^ 7
 	if r := aligned % trace.LineSize; r != 0 {
 		if _, err := h.allocLocked(trace.LineSize - r); err != nil { // pad
@@ -143,16 +219,16 @@ func (h *Heap) AllocLines(n uint64) (uint64, error) {
 // SetRoot stores and persists the root object pointer the program uses to
 // find its data after a restart.
 func (h *Heap) SetRoot(addr uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.hdr.Lock()
+	defer h.hdr.Unlock()
 	binary.LittleEndian.PutUint64(h.mem[rootOff:], addr)
-	h.persistLocked(0, HeaderSize)
+	h.persistHeaderLocked()
 }
 
 // Root returns the persistent root pointer.
 func (h *Heap) Root() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.hdr.Lock()
+	defer h.hdr.Unlock()
 	return binary.LittleEndian.Uint64(h.mem[rootOff:])
 }
 
@@ -160,40 +236,73 @@ func (h *Heap) Root() uint64 {
 // runtime keeps its crash-recovery log registry there, separate from the
 // application's root object).
 func (h *Heap) SetMeta(addr uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.hdr.Lock()
+	defer h.hdr.Unlock()
 	binary.LittleEndian.PutUint64(h.mem[metaOff:], addr)
-	h.persistLocked(0, HeaderSize)
+	h.persistHeaderLocked()
 }
 
 // Meta returns the runtime-metadata pointer (0 when unset).
 func (h *Heap) Meta() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.hdr.Lock()
+	defer h.hdr.Unlock()
 	return binary.LittleEndian.Uint64(h.mem[metaOff:])
 }
 
-// WriteUint64 writes v at addr in the volatile view.
+// WriteUint64 writes v at addr in the volatile view (lock-free data plane;
+// one stripe acquisition to mark the line dirty).
 func (h *Heap) WriteUint64(addr uint64, v uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.check(addr, 8)
 	binary.LittleEndian.PutUint64(h.mem[addr:], v)
 	h.markDirty(addr, 8)
 }
 
-// ReadUint64 reads from the volatile view.
+// ReadUint64 reads from the volatile view. Lock-free: the caller must own
+// the line or know it is stable (committed and unowned).
 func (h *Heap) ReadUint64(addr uint64) uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.check(addr, 8)
 	return binary.LittleEndian.Uint64(h.mem[addr:])
 }
 
+// ReadWordClamped reads the 64-bit word at addr, tolerating a word that
+// overhangs the end of the heap: the missing high bytes read as zero. The
+// undo log uses it to record the old value of the heap's final word when
+// an unaligned store ends there.
+func (h *Heap) ReadWordClamped(addr uint64) uint64 {
+	if addr+8 <= uint64(len(h.mem)) {
+		return binary.LittleEndian.Uint64(h.mem[addr:])
+	}
+	h.check(addr, 1)
+	var buf [8]byte
+	copy(buf[:], h.mem[addr:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Store64 is the hot-path persistent store primitive: one bounds check,
+// read the old value, apply the volatile write, mark the line dirty (a
+// single stripe acquisition for an aligned store). It returns the
+// overwritten value so the caller can undo-log it.
+func (h *Heap) Store64(addr uint64, v uint64) (old uint64) {
+	h.check(addr, 8)
+	old = binary.LittleEndian.Uint64(h.mem[addr:])
+	binary.LittleEndian.PutUint64(h.mem[addr:], v)
+	h.markDirty(addr, 8)
+	return old
+}
+
+// Write64Through writes v to both the volatile and durable views without
+// touching dirty state: a write-through store. The undo log uses it so
+// that write-ahead records are durable the instant they are written, with
+// zero stripe traffic on the store hot path. The caller must own the
+// line.
+func (h *Heap) Write64Through(addr uint64, v uint64) {
+	h.check(addr, 8)
+	binary.LittleEndian.PutUint64(h.mem[addr:], v)
+	binary.LittleEndian.PutUint64(h.persisted[addr:], v)
+}
+
 // WriteBytes copies b into the volatile view at addr.
 func (h *Heap) WriteBytes(addr uint64, b []byte) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.check(addr, uint64(len(b)))
 	copy(h.mem[addr:], b)
 	h.markDirty(addr, uint64(len(b)))
@@ -201,8 +310,6 @@ func (h *Heap) WriteBytes(addr uint64, b []byte) {
 
 // ReadBytes copies n bytes from the volatile view into a fresh slice.
 func (h *Heap) ReadBytes(addr, n uint64) []byte {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.check(addr, n)
 	out := make([]byte, n)
 	copy(out, h.mem[addr:addr+n])
@@ -210,90 +317,200 @@ func (h *Heap) ReadBytes(addr, n uint64) []byte {
 }
 
 // PersistedUint64 reads the durable view (what a crash would preserve);
-// recovery and tests use it.
+// recovery and tests use it. It takes the line's stripe so it cannot race
+// the owner's concurrent flush of the same line.
 func (h *Heap) PersistedUint64(addr uint64) uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.check(addr, 8)
+	st := h.stripeOf(trace.LineOf(addr))
+	st.lock()
+	defer st.mu.Unlock()
 	return binary.LittleEndian.Uint64(h.persisted[addr:])
 }
 
 // FlushLine copies one cache line from the volatile to the durable view:
 // the clwb/clflush data movement. (Whether the flush also invalidates the
 // hardware cache is a *cost* question handled by internal/hwsim; the data
-// movement is the same.)
+// movement is the same.) Only the line's owner may flush it.
 func (h *Heap) FlushLine(line trace.LineAddr) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.flushLineLocked(line)
+	h.flushLine(line)
 }
 
 // Persist flushes every line covering [addr, addr+n).
 func (h *Heap) Persist(addr, n uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.persistLocked(addr, n)
+	if n == 0 {
+		return
+	}
+	h.check(addr, n)
+	first := addr >> trace.LineShift
+	last := (addr + n - 1) >> trace.LineShift
+	for l := first; l <= last; l++ {
+		h.flushLine(trace.LineAddr(l))
+	}
+}
+
+// lockAll acquires the header mutex and every stripe in index order (the
+// whole-heap lock ordering; Crash, PersistAll and CheckConsistency use it).
+func (h *Heap) lockAll() {
+	h.hdr.Lock()
+	for i := range h.stripes {
+		h.stripes[i].lock()
+	}
+}
+
+func (h *Heap) unlockAll() {
+	for i := range h.stripes {
+		h.stripes[i].mu.Unlock()
+	}
+	h.hdr.Unlock()
 }
 
 // DirtyLines returns the lines written since their last flush, in
 // unspecified order.
 func (h *Heap) DirtyLines() []trace.LineAddr {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	out := make([]trace.LineAddr, 0, len(h.dirty))
-	for l := range h.dirty {
-		out = append(out, l)
+	h.lockAll()
+	defer h.unlockAll()
+	var out []trace.LineAddr
+	for i := range h.stripes {
+		for l := range h.stripes[i].dirty {
+			out = append(out, l)
+		}
 	}
 	return out
 }
 
 // DirtyCount returns the number of unflushed lines.
 func (h *Heap) DirtyCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.dirty)
+	h.lockAll()
+	defer h.unlockAll()
+	n := 0
+	for i := range h.stripes {
+		n += len(h.stripes[i].dirty)
+	}
+	return n
+}
+
+// isDirty reports whether the line is awaiting a flush (test helper).
+func (h *Heap) isDirty(line trace.LineAddr) bool {
+	st := h.stripeOf(line)
+	st.lock()
+	defer st.mu.Unlock()
+	_, ok := st.dirty[line]
+	return ok
 }
 
 // Crash simulates a power failure: the volatile view is replaced by the
-// durable view, losing every write that was never flushed.
+// durable view, losing every write that was never flushed. Mutators must
+// be quiesced; Crash takes every stripe in order so it cannot interleave
+// with a straggling dirty mark or flush.
 func (h *Heap) Crash() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.lockAll()
+	defer h.unlockAll()
 	copy(h.mem, h.persisted)
-	clear(h.dirty)
-	h.crashes++
+	for i := range h.stripes {
+		clear(h.stripes[i].dirty)
+	}
+	h.crashes.Add(1)
 }
 
 // Crashes reports how many simulated failures the heap has survived.
-func (h *Heap) Crashes() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.crashes
-}
+func (h *Heap) Crashes() int { return int(h.crashes.Load()) }
 
 // PersistAll flushes every dirty line (used by tests and by clean
 // shutdown).
 func (h *Heap) PersistAll() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for l := range h.dirty {
-		start := l.ByteAddr()
-		copy(h.persisted[start:start+trace.LineSize], h.mem[start:start+trace.LineSize])
+	h.lockAll()
+	defer h.unlockAll()
+	for i := range h.stripes {
+		for l := range h.stripes[i].dirty {
+			start := l.ByteAddr()
+			copy(h.persisted[start:start+trace.LineSize], h.mem[start:start+trace.LineSize])
+		}
+		clear(h.stripes[i].dirty)
 	}
-	clear(h.dirty)
 }
 
-// Flusher adapts the heap to core.Flusher so persistence policies can
-// drive real data movement: FlushAsync and FlushDrain both copy lines to
-// the durable view (timing is hwsim's concern, not pmem's).
-type Flusher struct{ H *Heap }
-
-// FlushAsync implements core.Flusher.
-func (f Flusher) FlushAsync(line trace.LineAddr) { f.H.FlushLine(line) }
-
-// FlushDrain implements core.Flusher.
-func (f Flusher) FlushDrain(lines []trace.LineAddr) {
-	for _, l := range lines {
-		f.H.FlushLine(l)
+// CheckConsistency verifies the cross-view invariant on a quiesced heap:
+// every line that is not dirty must read identically in the volatile and
+// durable views (dirty lines are exactly the divergence the flush queue
+// still owes NVRAM).
+func (h *Heap) CheckConsistency() error {
+	h.lockAll()
+	defer h.unlockAll()
+	lines := uint64(len(h.mem)) >> trace.LineShift
+	for l := uint64(0); l < lines; l++ {
+		line := trace.LineAddr(l)
+		if _, dirty := h.stripeOf(line).dirty[line]; dirty {
+			continue
+		}
+		start := line.ByteAddr()
+		for i := uint64(0); i < trace.LineSize; i++ {
+			if h.mem[start+i] != h.persisted[start+i] {
+				return fmt.Errorf("pmem: clean line %d diverges at byte %d (volatile %#x, durable %#x)",
+					l, start+i, h.mem[start+i], h.persisted[start+i])
+			}
+		}
 	}
+	return nil
+}
+
+// StripeStat is one stripe's lock counters.
+type StripeStat struct {
+	// Acquired counts lock acquisitions (dirty marks, flushes, durable
+	// reads).
+	Acquired int64
+	// Contended counts acquisitions that found the lock already held — the
+	// cross-goroutine serialization the striping is meant to minimize.
+	Contended int64
+}
+
+// StripeStats snapshots every stripe's counters, indexed by stripe.
+func (h *Heap) StripeStats() []StripeStat {
+	out := make([]StripeStat, NumStripes)
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.lock()
+		out[i] = StripeStat{Acquired: st.acquired, Contended: st.contended.Load()}
+		// Exclude this snapshot's own acquisition from the counters.
+		out[i].Acquired--
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// StripeSummary aggregates StripeStats for reporting (the nvserver STATS
+// line).
+type StripeSummary struct {
+	Stripes     int
+	Acquired    int64
+	Contended   int64
+	HotStripe   int   // stripe with the most acquisitions
+	HotAcquired int64 // its acquisition count
+}
+
+// SummarizeStripes aggregates per-stripe counters.
+func SummarizeStripes(stats []StripeStat) StripeSummary {
+	s := StripeSummary{Stripes: len(stats)}
+	for i, st := range stats {
+		s.Acquired += st.Acquired
+		s.Contended += st.Contended
+		if st.Acquired > s.HotAcquired {
+			s.HotAcquired = st.Acquired
+			s.HotStripe = i
+		}
+	}
+	return s
+}
+
+// ContentionRatio returns contended/acquired (0 when idle).
+func (s StripeSummary) ContentionRatio() float64 {
+	if s.Acquired == 0 {
+		return 0
+	}
+	return float64(s.Contended) / float64(s.Acquired)
+}
+
+// String renders one STATS line.
+func (s StripeSummary) String() string {
+	return fmt.Sprintf("stripes=%d acquired=%d contended=%d contention=%.4f hot_stripe=%d hot_acquired=%d",
+		s.Stripes, s.Acquired, s.Contended, s.ContentionRatio(), s.HotStripe, s.HotAcquired)
 }

@@ -179,21 +179,29 @@ func TestPersistedUint64ReadsDurableView(t *testing.T) {
 	}
 }
 
-func TestFlusherAdapter(t *testing.T) {
+func TestSinkAdapter(t *testing.T) {
 	h := New(1024)
 	a, _ := h.AllocLines(8)
-	var f Flusher = Flusher{H: h}
+	s := NewSink(h)
 	h.WriteUint64(a, 9)
-	f.FlushAsync(trace.LineOf(a))
+	s.FlushLine(trace.LineOf(a))
 	h.Crash()
 	if h.ReadUint64(a) != 9 {
-		t.Fatal("FlushAsync did not persist")
+		t.Fatal("FlushLine did not persist")
 	}
 	h.WriteUint64(a, 10)
-	f.FlushDrain([]trace.LineAddr{trace.LineOf(a)})
+	s.Drain([]trace.LineAddr{trace.LineOf(a)})
 	h.Crash()
 	if h.ReadUint64(a) != 10 {
-		t.Fatal("FlushDrain did not persist")
+		t.Fatal("Drain did not persist")
+	}
+	st := s.Stats()
+	if st.Async != 1 || st.Drained != 1 || st.Barriers != 0 || st.Total() != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	s.Drain(nil)
+	if s.Stats().Barriers != 1 {
+		t.Fatal("empty drain not counted as barrier")
 	}
 }
 
@@ -229,7 +237,7 @@ func TestQuickCrashSemantics(t *testing.T) {
 		// Clean lines always agree across views.
 		for i := 0; i < 16; i++ {
 			addr := base + uint64(i)*trace.LineSize
-			if _, dirty := h.dirty[trace.LineOf(addr)]; !dirty {
+			if !h.isDirty(trace.LineOf(addr)) {
 				if h.ReadUint64(addr) != h.PersistedUint64(addr) {
 					return false
 				}

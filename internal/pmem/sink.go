@@ -1,0 +1,52 @@
+package pmem
+
+import (
+	"sync/atomic"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/trace"
+)
+
+// Sink adapts a Heap to core.FlushSink so persistence policies drive real
+// data movement: FlushLine and Drain both copy lines to the durable view
+// (timing is hwsim's concern, not pmem's). Counters are atomic so
+// FlushStats can be read while other threads' sinks are flushing.
+type Sink struct {
+	h        *Heap
+	async    atomic.Int64
+	drained  atomic.Int64
+	barriers atomic.Int64
+}
+
+// NewSink returns a flush sink backed by h.
+func NewSink(h *Heap) *Sink { return &Sink{h: h} }
+
+// Heap returns the backing heap.
+func (s *Sink) Heap() *Heap { return s.h }
+
+// FlushLine implements core.FlushSink: an asynchronous line write-back.
+func (s *Sink) FlushLine(line trace.LineAddr) {
+	s.h.FlushLine(line)
+	s.async.Add(1)
+}
+
+// Drain implements core.FlushSink: flush the given lines, then a
+// persistence barrier.
+func (s *Sink) Drain(lines []trace.LineAddr) {
+	for _, l := range lines {
+		s.h.FlushLine(l)
+	}
+	s.drained.Add(int64(len(lines)))
+	if len(lines) == 0 {
+		s.barriers.Add(1)
+	}
+}
+
+// Stats implements core.FlushSink.
+func (s *Sink) Stats() core.FlushStats {
+	return core.FlushStats{
+		Async:    s.async.Load(),
+		Drained:  s.drained.Load(),
+		Barriers: s.barriers.Load(),
+	}
+}

@@ -201,6 +201,28 @@ func (b *Builder) Finish() *ThreadSeq {
 	return &s
 }
 
+// Snapshot returns a copy of the sequence built so far without disturbing
+// the builder: writes and bounds are copied, and if a FASE is currently
+// open its stores so far are sealed into a final section of the copy only.
+// Unlike Finish, the builder remains usable, so Snapshot may be taken any
+// number of times mid-recording.
+func (b *Builder) Snapshot() *ThreadSeq {
+	s := &ThreadSeq{
+		Thread: b.seq.Thread,
+		Writes: append([]LineAddr(nil), b.seq.Writes...),
+		Bounds: append([]int(nil), b.seq.Bounds...),
+	}
+	n := len(s.Writes)
+	prev := 0
+	if len(s.Bounds) > 0 {
+		prev = s.Bounds[len(s.Bounds)-1]
+	}
+	if prev != n { // seal the open (or implicit) tail section in the copy
+		s.Bounds = append(s.Bounds, n)
+	}
+	return s
+}
+
 // Trace is a complete multi-thread persistent-write trace.
 type Trace struct {
 	Threads []*ThreadSeq
