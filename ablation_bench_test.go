@@ -9,7 +9,7 @@ package nvmcache_test
 // distance (Section III-A). Each reports its finding as a custom metric.
 
 import (
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"testing"
 
 	"nvmcache/internal/core"
@@ -213,7 +213,7 @@ func BenchmarkAblationHibernation(b *testing.B) {
 // paper's Section III-A argues from: the linear-time timescale analysis
 // vs the O(n log n) exact reuse-distance measurement, on the same trace.
 func BenchmarkAblationTimescaleVsReuseDistance(b *testing.B) {
-	rng := rand.New(rand.NewSource(9))
+	rng := testutil.Rand(b, 9)
 	seq := make([]uint64, 1<<19)
 	for i := range seq {
 		seq[i] = uint64(rng.Intn(1 << 14))

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// quietly redirects the command's stdout chatter to /dev/null for the
+// duration of f, keeping test output readable.
+func quietly(t *testing.T, f func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return f()
+}
+
+// TestRunSmoke drives the command's whole path — Mtest workload, flush
+// ratios, and the crash/recovery check — at a size small enough for CI.
+func TestRunSmoke(t *testing.T) {
+	if err := quietly(t, func() error {
+		return run(500, 1, "SC", true)
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunPolicyErrors(t *testing.T) {
+	if err := run(10, 1, "no-such-policy", false); err == nil {
+		t.Error("unknown policy not rejected")
+	}
+	if err := quietly(t, func() error {
+		return run(100, 1, "BEST", true)
+	}); err == nil {
+		t.Error("BEST crash check should report it is unsound")
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nvmcache/internal/harness"
+	"nvmcache/internal/trace"
+)
+
+// quietly redirects the command's stdout chatter to /dev/null for the
+// duration of f, keeping test output readable.
+func quietly(t *testing.T, f func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return f()
+}
+
+func TestRunWorkloadSmoke(t *testing.T) {
+	if err := quietly(t, func() error {
+		return run("water-spatial", "", 0, 1.0/1024, 10, 0, false)
+	}); err != nil {
+		t.Fatalf("run(workload): %v", err)
+	}
+	if err := quietly(t, func() error {
+		return run("water-spatial", "", 0, 1.0/1024, 10, 4096, true)
+	}); err != nil {
+		t.Fatalf("run(workload, -compare): %v", err)
+	}
+}
+
+func TestRunTraceFileSmoke(t *testing.T) {
+	w, err := harness.WorkloadByName(harness.Workloads(), "water-spatial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Trace(1.0/1024, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.nvmt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Encode(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := quietly(t, func() error {
+		return run("", path, 1, 1, 10, 0, false)
+	}); err != nil {
+		t.Fatalf("run(trace): %v", err)
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	if err := run("", "", 0, 1, 10, 0, false); err == nil {
+		t.Error("missing inputs not rejected")
+	}
+	if err := run("a", "b", 0, 1, 10, 0, false); err == nil {
+		t.Error("conflicting -workload and -trace not rejected")
+	}
+	if err := quietly(t, func() error {
+		return run("water-spatial", "", 99, 1.0/1024, 10, 0, false)
+	}); err == nil {
+		t.Error("out-of-range -thread not rejected")
+	}
+}

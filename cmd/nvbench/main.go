@@ -214,6 +214,14 @@ var experiments = []experiment{
 		c.show(r.Table())
 		return nil
 	}},
+	{"faultinject", "crash-point exploration: sites explored and recovery invariants passed", func(c *runCtx) error {
+		r, err := harness.CrashExploration(0)
+		if err != nil {
+			return err
+		}
+		c.show(r.Table())
+		return nil
+	}},
 }
 
 func lookup(id string) (experiment, bool) {

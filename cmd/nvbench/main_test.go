@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListExperiments pins the -list surface: every registered experiment
+// shows up with a description, and the ids the README advertises exist.
+func TestListExperiments(t *testing.T) {
+	var b strings.Builder
+	listExperiments(&b)
+	out := b.String()
+	for _, e := range experiments {
+		if !strings.Contains(out, e.id) {
+			t.Errorf("-list output missing experiment %q", e.id)
+		}
+		if e.desc == "" {
+			t.Errorf("experiment %q has no description", e.id)
+		}
+	}
+	for _, id := range []string{"table1", "figure7", "contention", "faultinject", "all"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := lookup("table1"); !ok {
+		t.Error("lookup(table1) failed")
+	}
+	if _, ok := lookup("no-such-experiment"); ok {
+		t.Error("lookup invented an experiment")
+	}
+	ids := make(map[string]bool)
+	for _, e := range experiments {
+		if ids[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		ids[e.id] = true
+	}
+}

@@ -22,16 +22,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		shards   = flag.Int("shards", 4, "independent shards (one tree + writer goroutine each)")
-		batch    = flag.Int("batch", 64, "max operations per group commit (1 = one FASE per op)")
-		delay    = flag.Duration("delay", 2*time.Millisecond, "max time a batch waits to fill")
-		pool     = flag.Int("pool-pages", 1<<13, "per-shard B+-tree page pool capacity")
-		policy   = flag.String("policy", "SC", "persistence policy: ER, LA, AT, SC, SC-offline, BEST")
-		selftest = flag.Bool("selftest", false, "run the crash/recovery self-test and exit")
-		clients  = flag.Int("clients", 8, "self-test: concurrent closed-loop clients")
-		ops      = flag.Int("ops", 2000, "self-test: PUT operations per client")
-		seed     = flag.Uint64("seed", 1, "self-test: value-mixing seed")
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		shards     = flag.Int("shards", 4, "independent shards (one tree + writer goroutine each)")
+		batch      = flag.Int("batch", 64, "max operations per group commit (1 = one FASE per op)")
+		delay      = flag.Duration("delay", 2*time.Millisecond, "max time a batch waits to fill")
+		pool       = flag.Int("pool-pages", 1<<13, "per-shard B+-tree page pool capacity")
+		policy     = flag.String("policy", "SC", "persistence policy: ER, LA, AT, SC, SC-offline, BEST")
+		selftest   = flag.Bool("selftest", false, "run the crash/recovery self-test and exit")
+		exhaustive = flag.Bool("exhaustive", false, "self-test: add phase C, the exhaustive crash-point exploration")
+		clients    = flag.Int("clients", 8, "self-test: concurrent closed-loop clients")
+		ops        = flag.Int("ops", 2000, "self-test: PUT operations per client")
+		seed       = flag.Uint64("seed", 1, "self-test: value-mixing seed")
 	)
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 	opts.Policy = pk
 
 	if *selftest {
-		if err := runSelfTest(opts, *clients, *ops, *seed); err != nil {
+		if err := runSelfTest(opts, *clients, *ops, *seed, *exhaustive); err != nil {
 			fmt.Fprintln(os.Stderr, "selftest: FAIL:", err)
 			os.Exit(1)
 		}

@@ -92,7 +92,21 @@ func TestSelfTestSmoke(t *testing.T) {
 	opts := kv.DefaultOptions()
 	opts.Shards = 2
 	opts.MaxDelay = time.Millisecond
-	if err := runSelfTest(opts, 2, 100, 42); err != nil {
+	if err := runSelfTest(opts, 2, 100, 42, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelfTestExhaustive runs phase C too: the full crash-point
+// exploration behind -selftest -exhaustive.
+func TestSelfTestExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration sweeps run in internal/faultinject; skip the cmd wrapper in -short")
+	}
+	opts := kv.DefaultOptions()
+	opts.Shards = 2
+	opts.MaxDelay = time.Millisecond
+	if err := runSelfTest(opts, 2, 100, 42, true); err != nil {
 		t.Fatal(err)
 	}
 }

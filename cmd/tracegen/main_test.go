@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nvmcache/internal/harness"
+	"nvmcache/internal/trace"
+)
+
+// TestRunGoldenRoundTrip records a workload to a file exactly as the
+// command does, then decodes it through internal/trace and checks it is
+// bit-identical to generating the same workload in process: the golden
+// guarantee that the file format loses nothing.
+func TestRunGoldenRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "golden.nvmt")
+	const (
+		name    = "water-spatial"
+		scale   = 1.0 / 1024
+		threads = 2
+		seed    = 42
+	)
+	if err := run(name, out, scale, threads, seed, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	decoded, err := trace.Decode(f)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	w, err := harness.WorkloadByName(harness.Workloads(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.Trace(scale, threads, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.ComputeStats(decoded), trace.ComputeStats(want)) {
+		t.Fatalf("decoded stats differ:\n got %+v\nwant %+v",
+			trace.ComputeStats(decoded), trace.ComputeStats(want))
+	}
+	if len(decoded.Threads) != len(want.Threads) {
+		t.Fatalf("thread count: got %d, want %d", len(decoded.Threads), len(want.Threads))
+	}
+	for i := range want.Threads {
+		if !reflect.DeepEqual(decoded.Threads[i], want.Threads[i]) {
+			t.Fatalf("thread %d round-trip not bit-identical", i)
+		}
+	}
+
+	// The -info path must read the same file back without error.
+	if err := run("", "", 0, 0, 0, out); err != nil {
+		t.Fatalf("run -info: %v", err)
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	if err := run("", "", 1, 1, 1, ""); err == nil {
+		t.Error("missing -workload/-o not rejected")
+	}
+	if err := run("no-such-workload", filepath.Join(t.TempDir(), "x"), 1, 1, 1, ""); err == nil {
+		t.Error("unknown workload not rejected")
+	}
+	if err := run("", "", 0, 0, 0, filepath.Join(t.TempDir(), "missing.nvmt")); err == nil {
+		t.Error("missing -info file not rejected")
+	}
+}

@@ -41,6 +41,17 @@ type Options struct {
 	LogEntries int
 	// RecordTrace enables per-thread trace recording (default on).
 	DisableTrace bool
+	// WrapSink, when non-nil, wraps each new thread's flush sink before the
+	// persistence policy is attached. internal/faultinject interposes its
+	// numbered crash points here; the wrapped sink must preserve FlushSink
+	// semantics (a drain durably persists its lines before returning).
+	WrapSink func(thread int32, sink core.FlushSink) core.FlushSink
+	// UndoHook, when non-nil, is called at each undo-log persistence point
+	// (see UndoOp) on the mutating goroutine, before the corresponding
+	// durable write. A hook may panic to simulate a power failure at that
+	// exact boundary; internal/faultinject drives crash-point exploration
+	// through it.
+	UndoHook func(op UndoOp)
 }
 
 // DefaultOptions uses the adaptive software cache with paper constants.
@@ -87,16 +98,20 @@ func (rt *Runtime) NewThread() (*Thread, error) {
 	defer rt.mu.Unlock()
 	id := rt.nextID
 	rt.nextID++
-	log, err := newUndoLog(rt.heap, rt.opts.LogEntries)
+	log, err := newUndoLog(rt.heap, rt.opts.LogEntries, rt.opts.UndoHook)
 	if err != nil {
 		return nil, fmt.Errorf("atlas: creating undo log for thread %d: %w", id, err)
+	}
+	var sink core.FlushSink = pmem.NewSink(rt.heap)
+	if rt.opts.WrapSink != nil {
+		sink = rt.opts.WrapSink(id, sink)
 	}
 	t := &Thread{
 		id:   id,
 		rt:   rt,
 		heap: rt.heap,
 		log:  log,
-		sink: pmem.NewSink(rt.heap),
+		sink: sink,
 	}
 	t.policy = core.NewPolicy(rt.opts.Policy, rt.opts.Config, t.sink)
 	if !rt.opts.DisableTrace {
@@ -161,7 +176,7 @@ type Thread struct {
 	rt        *Runtime
 	heap      *pmem.Heap
 	policy    core.Policy
-	sink      *pmem.Sink
+	sink      core.FlushSink
 	builder   *trace.Builder
 	recording bool
 	log       *undoLog

@@ -1,7 +1,7 @@
 package atlas
 
 import (
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -280,7 +280,7 @@ func TestConcurrentThreads(t *testing.T) {
 func TestQuickCrashConsistency(t *testing.T) {
 	kinds := []core.PolicyKind{core.Eager, core.Lazy, core.AtlasTable, core.SoftCacheOnline}
 	f := func(seed int64, kindIdx uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		kind := kinds[int(kindIdx)%len(kinds)]
 		h := pmem.New(1 << 20)
 		opts := DefaultOptions()

@@ -35,6 +35,45 @@ const (
 	logCountOff   = 8
 )
 
+// UndoOp names an undo-log persistence point for Options.UndoHook. Each is
+// a boundary at which a crash leaves the log in a distinct intermediate
+// state, which is why fault injection enumerates them separately.
+type UndoOp uint8
+
+const (
+	// UndoBegin fires before the log is marked active at the outermost
+	// FASEBegin (a crash here leaves the previous, committed log state).
+	UndoBegin UndoOp = iota
+	// UndoRecord fires before an entry's address/old-value words are
+	// written (a crash here loses the entry entirely; the data write it
+	// would guard has not reached NVRAM either).
+	UndoRecord
+	// UndoPublish fires after an entry's words are durable but before the
+	// count that makes it visible to recovery (a crash here must be
+	// tolerated by write-ahead ordering: the entry is durable, invisible).
+	UndoPublish
+	// UndoCommit fires before the log's status word is cleared at FASE end
+	// (a crash here finds data fully drained but the FASE still active, so
+	// recovery rolls it back).
+	UndoCommit
+)
+
+// String names the op.
+func (op UndoOp) String() string {
+	switch op {
+	case UndoBegin:
+		return "undo-begin"
+	case UndoRecord:
+		return "undo-record"
+	case UndoPublish:
+		return "undo-publish"
+	case UndoCommit:
+		return "undo-commit"
+	default:
+		return fmt.Sprintf("undo-op(%d)", uint8(op))
+	}
+}
+
 type undoLog struct {
 	heap        *pmem.Heap
 	base        uint64
@@ -43,6 +82,14 @@ type undoLog struct {
 	dedup       map[uint64]struct{} // words already logged in this FASE
 	dropped     int64               // records beyond capacity (reported, not fatal)
 	droppedFASE int                 // records dropped since the last begin
+	hook        func(UndoOp)        // fault-injection instrumentation (may be nil)
+}
+
+// at invokes the instrumentation hook, if any.
+func (l *undoLog) at(op UndoOp) {
+	if l.hook != nil {
+		l.hook(op)
+	}
 }
 
 // ensureRegistry finds or creates the heap's log registry.
@@ -60,7 +107,7 @@ func ensureRegistry(h *pmem.Heap) (uint64, error) {
 	return reg, nil
 }
 
-func newUndoLog(h *pmem.Heap, entries int) (*undoLog, error) {
+func newUndoLog(h *pmem.Heap, entries int, hook func(UndoOp)) (*undoLog, error) {
 	reg, err := ensureRegistry(h)
 	if err != nil {
 		return nil, err
@@ -84,6 +131,7 @@ func newUndoLog(h *pmem.Heap, entries int) (*undoLog, error) {
 		base:  base,
 		cap:   entries,
 		dedup: make(map[uint64]struct{}, 256),
+		hook:  hook,
 	}, nil
 }
 
@@ -92,6 +140,7 @@ func newUndoLog(h *pmem.Heap, entries int) (*undoLog, error) {
 // this thread alone, the words are durable the instant they are written,
 // and the store hot path acquires no heap stripe for logging.
 func (l *undoLog) begin() {
+	l.at(UndoBegin)
 	l.count = 0
 	l.droppedFASE = 0
 	clear(l.dedup)
@@ -114,15 +163,18 @@ func (l *undoLog) record(addr uint64, old uint64) {
 		l.droppedFASE++
 		return
 	}
+	l.at(UndoRecord)
 	e := l.base + logHeaderSize + uint64(l.count)*logEntrySize
 	l.heap.Write64Through(e, word)
 	l.heap.Write64Through(e+8, old)
+	l.at(UndoPublish)
 	l.count++
 	l.heap.Write64Through(l.base+logCountOff, uint64(l.count))
 }
 
 // commit closes the FASE after the policy drained the data writes.
 func (l *undoLog) commit() {
+	l.at(UndoCommit)
 	l.heap.Write64Through(l.base+logStatusOff, 0)
 	l.heap.Write64Through(l.base+logCountOff, 0)
 	l.count = 0

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"nvmcache/internal/testutil"
 	"testing"
 	"testing/quick"
 
@@ -73,7 +74,7 @@ func TestLazyDrainsOnlyAtFASEEnd(t *testing.T) {
 }
 
 func TestBestNeverFlushes(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := testutil.Rand(t, 2)
 	tr := randomFASETrace(rng, 10, 20, 8)
 	if got := FlushRatio(Best, DefaultConfig(), tr); got != 0 {
 		t.Fatalf("BEST flush ratio = %v", got)
@@ -237,7 +238,7 @@ func TestPolicyKindStrings(t *testing.T) {
 func TestQuickWriteBackCompleteness(t *testing.T) {
 	kinds := []PolicyKind{Eager, Lazy, AtlasTable, SoftCacheOnline, SoftCacheOffline}
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		tr := randomFASETrace(rng, 1+rng.Intn(8), 30, 12)
 		s := tr.Threads[0]
 		for _, kind := range kinds {
@@ -281,7 +282,7 @@ func TestQuickWriteBackCompleteness(t *testing.T) {
 // every sound policy; ER is the upper bound.
 func TestQuickPolicyFlushOrdering(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		tr := randomFASETrace(rng, 1+rng.Intn(10), 40, 15)
 		cfg := DefaultConfig()
 		cfg.BurstLength = 64
@@ -309,7 +310,7 @@ func TestQuickPolicyFlushOrdering(t *testing.T) {
 // The LA lower bound equals the trace's per-FASE distinct-line count.
 func TestQuickLazyEqualsLowerBound(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		tr := randomFASETrace(rng, 1+rng.Intn(10), 40, 15)
 		st := trace.ComputeStats(tr)
 		want := float64(st.LAFlushes) / float64(st.TotalWrites)

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -148,7 +148,7 @@ func (m *modelLRU) access(l trace.LineAddr) (hit bool, evicted trace.LineAddr, h
 // random access/resize/drain sequences, and its internal invariants hold.
 func TestQuickWriteCacheMatchesModel(t *testing.T) {
 	f := func(seed int64, cap8 uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		capacity := 1 + int(cap8)%12
 		c := NewWriteCache(capacity)
 		m := &modelLRU{cap: capacity}
@@ -199,7 +199,7 @@ func TestQuickWriteCacheMatchesModel(t *testing.T) {
 // (DESIGN.md invariant 3).
 func TestQuickStackInclusion(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		n := 50 + rng.Intn(400)
 		seq := make([]trace.LineAddr, n)
 		for i := range seq {
@@ -228,7 +228,7 @@ func TestQuickStackInclusion(t *testing.T) {
 
 func BenchmarkWriteCacheAccess(b *testing.B) {
 	c := NewWriteCache(50)
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.Rand(b, 1)
 	lines := make([]trace.LineAddr, 4096)
 	for i := range lines {
 		lines[i] = trace.LineAddr(rng.Intn(64))

@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"testing"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/trace"
+)
+
+// TestInjectorCounting checks the enumeration mechanics: disabled points
+// are free, enabled points number densely, kinds are tallied.
+func TestInjectorCounting(t *testing.T) {
+	in := NewCounting()
+	in.Point(KindFlushLine) // disabled: not counted
+	in.Enable()
+	in.Point(KindFlushLine)
+	in.Point(KindUndoRecord)
+	in.Point(KindUndoRecord)
+	in.Disable()
+	in.Point(KindAck) // disabled again
+	if got := in.Sites(); got != 3 {
+		t.Fatalf("Sites() = %d, want 3", got)
+	}
+	kinds := in.Kinds()
+	if kinds[KindFlushLine] != 1 || kinds[KindUndoRecord] != 2 || kinds[KindAck] != 0 {
+		t.Fatalf("Kinds() = %v", kinds)
+	}
+	if _, fired := in.Fired(); fired {
+		t.Fatal("counting injector fired")
+	}
+}
+
+// TestInjectorFiresOnce checks that the armed site panics with its Crash
+// payload exactly once, and that later points keep counting quietly.
+func TestInjectorFiresOnce(t *testing.T) {
+	in := NewArmed(1)
+	in.Enable()
+	in.Point(KindFlushLine) // site 0: passes
+	func() {
+		defer func() {
+			r := recover()
+			if !IsCrash(r) {
+				t.Fatalf("recover() = %v, want a Crash", r)
+			}
+			c := r.(Crash)
+			if c.Site != 1 || c.Kind != KindDrainLine {
+				t.Fatalf("crash = %+v, want site 1 kind drain-line", c)
+			}
+		}()
+		in.Point(KindDrainLine) // site 1: fires
+		t.Fatal("armed point did not panic")
+	}()
+	in.Point(KindAck) // after firing: counted, no panic
+	c, fired := in.Fired()
+	if !fired || c.Site != 1 {
+		t.Fatalf("Fired() = %+v, %v", c, fired)
+	}
+	if got := in.Sites(); got != 3 {
+		t.Fatalf("Sites() = %d, want 3", got)
+	}
+	if IsCrash(42) || IsCrash(nil) {
+		t.Fatal("IsCrash claimed a foreign panic value")
+	}
+}
+
+// TestSinkDecomposesDrain pins the wrapper's contract: a Drain of n lines
+// becomes n per-line boundaries plus one completion barrier, and the lines
+// still reach the inner sink.
+func TestSinkDecomposesDrain(t *testing.T) {
+	in := NewCounting()
+	in.Enable()
+	inner := core.NewCountingSink(nil)
+	s := in.WrapSink(0, inner)
+	s.FlushLine(7)
+	s.Drain([]trace.LineAddr{1, 2, 3})
+	if got := in.Sites(); got != 1+3+1 {
+		t.Fatalf("Sites() = %d, want 5", got)
+	}
+	kinds := in.Kinds()
+	if kinds[KindFlushLine] != 1 || kinds[KindDrainLine] != 3 || kinds[KindDrainDone] != 1 {
+		t.Fatalf("Kinds() = %v", kinds)
+	}
+	if st := s.Stats(); st.Async != 4 || st.Barriers != 1 {
+		t.Fatalf("inner stats = %+v, want 4 line flushes and 1 barrier", st)
+	}
+}
+
+// TestDropDrainsDouble pins the negative-test double: drains vanish,
+// asynchronous flushes pass through.
+func TestDropDrainsDouble(t *testing.T) {
+	inner := core.NewCountingSink(nil)
+	d := DropDrains(inner)
+	d.FlushLine(9)
+	d.Drain([]trace.LineAddr{1, 2, 3})
+	if st := d.Stats(); st.Async != 1 || st.Drained != 0 || st.Barriers != 0 {
+		t.Fatalf("stats = %+v, want 1 async flush and the drain dropped", st)
+	}
+}

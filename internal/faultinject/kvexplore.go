@@ -1,0 +1,442 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"nvmcache/internal/atlas"
+	"nvmcache/internal/core"
+	"nvmcache/internal/kv"
+	"nvmcache/internal/pmem"
+)
+
+// KVOptions shapes the kv exploration workloads.
+type KVOptions struct {
+	// Shards is the store's shard count; keys cycle across shards.
+	Shards int
+	// Ops and Keys size the deterministic exhaustive workload: Ops
+	// operations cycling over a Keys-wide key space, so most writes
+	// overwrite earlier ones and undo logging must restore real old
+	// values, with a delete mixed in every fifth op.
+	Ops  int
+	Keys int
+	// Policy and Config select the per-shard persistence technique.
+	Policy core.PolicyKind
+	Config core.Config
+	// Runs and Clients size the randomized concurrent mode
+	// (ExploreKVRandom): Runs crash runs, each with up to Clients
+	// concurrently mutating client goroutines.
+	Runs    int
+	Clients int
+	// Seed is the randomized mode's root seed; 0 takes -faultinject.seed.
+	Seed uint64
+	// Middleware, when non-nil, wraps each shard's sink between the
+	// policy and the injection points (policy → middleware → injector →
+	// pmem). Negative tests install DropDrains here.
+	Middleware func(core.FlushSink) core.FlushSink
+}
+
+// DefaultKVOptions keeps the exhaustive sweep in the low hundreds of
+// sites: every site still gets its own crash run in well under a minute.
+func DefaultKVOptions() KVOptions {
+	return KVOptions{
+		Shards: 2, Ops: 10, Keys: 4,
+		Policy: core.SoftCacheOnline, Config: core.DefaultConfig(),
+		Runs: 24, Clients: 3,
+	}
+}
+
+func (o KVOptions) withDefaults() KVOptions {
+	d := DefaultKVOptions()
+	if o.Shards <= 0 {
+		o.Shards = d.Shards
+	}
+	if o.Ops <= 0 {
+		o.Ops = d.Ops
+	}
+	if o.Keys <= 0 {
+		o.Keys = d.Keys
+	}
+	if o.Config == (core.Config{}) {
+		o.Config = d.Config
+	}
+	if o.Runs <= 0 {
+		o.Runs = d.Runs
+	}
+	if o.Clients <= 0 {
+		o.Clients = d.Clients
+	}
+	return o
+}
+
+// storeOptions builds the small-footprint store configuration under the
+// injector's hooks (inj may be nil for recovery, which must replay no
+// faults while it repairs the heap).
+func (o KVOptions) storeOptions(inj *Injector) kv.Options {
+	ko := kv.DefaultOptions()
+	ko.Shards = o.Shards
+	ko.MaxBatch = 4
+	ko.MaxDelay = 200 * time.Microsecond
+	ko.QueueDepth = 64
+	ko.PoolPages = 256
+	ko.LogEntries = 1 << 12
+	ko.Policy = o.Policy
+	ko.Config = o.Config
+	if inj != nil {
+		ko.WrapSink = func(id int32, s core.FlushSink) core.FlushSink {
+			s = inj.WrapSink(id, s)
+			if o.Middleware != nil {
+				s = o.Middleware(s)
+			}
+			return s
+		}
+		ko.UndoHook = inj.UndoHook()
+		ko.AckHook = func(int) { inj.AckPoint() }
+		ko.IsInjectedCrash = IsCrash
+	}
+	return ko
+}
+
+type kvOp struct {
+	del bool
+	key uint64
+	val uint64
+}
+
+func exhaustiveOps(o KVOptions) []kvOp {
+	ops := make([]kvOp, o.Ops)
+	for i := range ops {
+		key := uint64(i % o.Keys)
+		if (i+1)%5 == 0 {
+			ops[i] = kvOp{del: true, key: key}
+		} else {
+			ops[i] = kvOp{key: key, val: 0xBEE5_0000 + uint64(i) + 1}
+		}
+	}
+	return ops
+}
+
+// applyOps computes the expected key→value state after ops[:n].
+func applyOps(ops []kvOp, n int) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, op := range ops[:n] {
+		if op.del {
+			delete(m, op.key)
+		} else {
+			m[op.key] = op.val
+		}
+	}
+	return m
+}
+
+// kvSeqRun opens a fresh store under inj and issues the deterministic op
+// sequence one at a time — each op is its own single-request batch through
+// the full group-commit path (gather, FASE, commit, ack), which is what
+// makes the site enumeration identical run to run. It returns the heap,
+// how many ops were acked, and errInjected if the armed site crashed the
+// store.
+func kvSeqRun(o KVOptions, ops []kvOp, inj *Injector) (h *pmem.Heap, acked int, err error) {
+	ko := o.storeOptions(inj)
+	h = pmem.New(int(2 * kv.RecommendedHeapBytes(ko)))
+	st, err := kv.Open(h, ko)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Enumeration starts only now: the site space is the serving path, not
+	// the store's own setup.
+	inj.Enable()
+	defer inj.Disable()
+	for _, op := range ops {
+		var err error
+		if op.del {
+			_, err = st.Delete(op.key)
+		} else {
+			err = st.Put(op.key, op.val)
+		}
+		switch {
+		case err == nil:
+			acked++
+		case errors.Is(err, kv.ErrCrashed):
+			<-st.Crashed()
+			return h, acked, errInjected
+		default:
+			return h, acked, err
+		}
+	}
+	inj.Disable()
+	if err := st.Close(); err != nil {
+		return h, acked, err
+	}
+	return h, acked, nil
+}
+
+// recoverAndVerifyKV recovers a crashed heap and checks the service
+// contract: every acked op's effect is present with its exact value (no
+// acked write lost), the single nacked op is fully rolled back (no unacked
+// write visible) — except when the crash fired at the ack boundary, after
+// its durable commit, where it must instead be fully applied — the tree
+// invariants hold, the heap is self-consistent, and no dirty lines remain
+// once the recovered store closes.
+func recoverAndVerifyKV(o KVOptions, h *pmem.Heap, ops []kvOp, acked int, crash Crash) (checks int, rrep atlas.RecoveryReport, err error) {
+	st, rrep, err := kv.Recover(h, o.storeOptions(nil))
+	if err != nil {
+		return 0, rrep, err
+	}
+	if err := st.CheckInvariants(); err != nil {
+		return checks, rrep, err
+	}
+	checks++
+	visible := acked
+	if crash.Kind == KindAck && acked < len(ops) {
+		// The nacked op's batch committed durably before the ack boundary
+		// crashed: it must be visible, exactly once, untorn.
+		visible = acked + 1
+	}
+	want := applyOps(ops, visible)
+	for k := uint64(0); k < uint64(o.Keys); k++ {
+		got, found, err := st.Get(k)
+		if err != nil {
+			return checks, rrep, err
+		}
+		wantV, wantFound := want[k]
+		if found != wantFound || (found && got != wantV) {
+			return checks, rrep, fmt.Errorf("key %d: got (%#x, present=%v), want (%#x, present=%v)",
+				k, got, found, wantV, wantFound)
+		}
+		checks++
+	}
+	if err := st.Close(); err != nil {
+		return checks, rrep, err
+	}
+	if err := h.CheckConsistency(); err != nil {
+		return checks, rrep, err
+	}
+	checks++
+	if n := h.DirtyCount(); n != 0 {
+		return checks, rrep, fmt.Errorf("%d dirty lines after recovered store closed", n)
+	}
+	checks++
+	return checks, rrep, nil
+}
+
+// ExploreKV exhaustively explores every injection site of the kv serving
+// path: one counting run enumerates the boundaries (undo appends, line
+// write-backs, drain steps, ack boundaries), then each site gets its own
+// fresh store, a crash at exactly that boundary, kv.Recover, and the full
+// service-contract check. The first violated invariant aborts the sweep
+// with an error naming the site and boundary kind.
+func ExploreKV(o KVOptions) (Report, error) {
+	o = o.withDefaults()
+	ops := exhaustiveOps(o)
+	counter := NewCounting()
+	_, acked, err := kvSeqRun(o, ops, counter)
+	if err != nil {
+		return Report{}, fmt.Errorf("faultinject: counting run: %w", err)
+	}
+	if acked != len(ops) {
+		return Report{}, fmt.Errorf("faultinject: counting run acked %d/%d ops", acked, len(ops))
+	}
+	rep := Report{Sites: counter.Sites(), Kinds: counter.Kinds()}
+	for site := 0; site < rep.Sites; site++ {
+		inj := NewArmed(site)
+		h, acked, err := kvSeqRun(o, ops, inj)
+		if !errors.Is(err, errInjected) {
+			if err != nil {
+				return rep, fmt.Errorf("faultinject: run %d: %w", site, err)
+			}
+			return rep, fmt.Errorf("faultinject: site %d never fired (%d sites enumerated; workload not deterministic?)",
+				site, rep.Sites)
+		}
+		crash, _ := inj.Fired()
+		checks, rrep, err := recoverAndVerifyKV(o, h, ops, acked, crash)
+		rep.Checks += checks
+		rep.FASEsRolledBack += rrep.FASEsRolledBack
+		rep.WordsRestored += rrep.WordsRestored
+		if err != nil {
+			return rep, fmt.Errorf("faultinject: invariant violated after %v (acked %d/%d ops): %w",
+				crash, acked, len(ops), err)
+		}
+		rep.Runs++
+		rep.Crashes++
+	}
+	return rep, nil
+}
+
+// randSchedule is one randomized run's sampled shape.
+type randSchedule struct {
+	maxBatch   int
+	maxDelayUS int
+	clients    int
+	opsPer     int
+	keysPer    int
+	target     int
+}
+
+// keyWrites tracks, for one key, the values issued in order and the index
+// of the last acked one (-1: none acked).
+type keyWrites struct {
+	vals  []uint64
+	acked int
+}
+
+// ExploreKVRandom is the seeded randomized mode for long-running sweeps:
+// each run samples a concurrent schedule (clients, batch shape) and a
+// crash site from one PCG stream, so a failure reproduces exactly from the
+// reported seed (settable with -faultinject.seed). Group-commit batching
+// makes concurrent site spaces nondeterministic, so a run may miss its
+// armed site; missed runs complete, are verified crash-free, and are
+// tallied in Report.Missed.
+//
+// The per-key invariant is weaker than the sequential mode's exact-state
+// check, because ack-boundary crashes legally commit nacked writes: a
+// key's recovered value must be one of the values written to it no older
+// than its last acked write, and a key may be absent only if none of its
+// writes were acked.
+func ExploreKVRandom(o KVOptions) (Report, error) {
+	o = o.withDefaults()
+	seed := o.Seed
+	if seed == 0 {
+		seed = FlagSeed()
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	rep := Report{Seed: seed}
+	fail := func(sched randSchedule, err error) (Report, error) {
+		return rep, fmt.Errorf("faultinject: randomized run %d (seed %d, schedule %+v): %w",
+			rep.Runs, seed, sched, err)
+	}
+	for run := 0; run < o.Runs; run++ {
+		sched := randSchedule{
+			maxBatch:   1 + rng.IntN(8),
+			maxDelayUS: 50 + rng.IntN(200),
+			clients:    2 + rng.IntN(o.Clients),
+			opsPer:     6 + rng.IntN(10),
+			keysPer:    2 + rng.IntN(4),
+		}
+		// A counting pass over the same schedule estimates the site space;
+		// the armed site is drawn a little beyond it so some runs
+		// deliberately miss and exercise the crash-free path.
+		counter := NewCounting()
+		if _, _, err := kvRandRun(o, sched, counter, rng.Uint64()); err != nil {
+			return fail(sched, err)
+		}
+		est := counter.Sites()
+		rep.Sites += est
+		sched.target = rng.IntN(est + est/4 + 1)
+		inj := NewArmed(sched.target)
+		checks, rrep, err := kvRandRun(o, sched, inj, rng.Uint64())
+		rep.Runs++
+		rep.Checks += checks
+		rep.FASEsRolledBack += rrep.FASEsRolledBack
+		rep.WordsRestored += rrep.WordsRestored
+		if err != nil {
+			return fail(sched, err)
+		}
+		if _, fired := inj.Fired(); fired {
+			rep.Crashes++
+		} else {
+			rep.Missed++
+		}
+	}
+	return rep, nil
+}
+
+// kvRandRun executes one concurrent schedule under inj, then recovers (if
+// the site fired) and verifies the per-key invariant. workloadSeed only
+// perturbs client op interleaving hints, not correctness.
+func kvRandRun(o KVOptions, sched randSchedule, inj *Injector, workloadSeed uint64) (checks int, rrep atlas.RecoveryReport, err error) {
+	ko := o.storeOptions(inj)
+	ko.MaxBatch = sched.maxBatch
+	ko.MaxDelay = time.Duration(sched.maxDelayUS) * time.Microsecond
+	h := pmem.New(int(2 * kv.RecommendedHeapBytes(ko)))
+	st, err := kv.Open(h, ko)
+	if err != nil {
+		return 0, rrep, err
+	}
+	inj.Enable()
+	defer inj.Disable()
+
+	logs := make([][]keyWrites, sched.clients)
+	var wg sync.WaitGroup
+	for c := 0; c < sched.clients; c++ {
+		keys := make([]keyWrites, sched.keysPer)
+		for i := range keys {
+			keys[i].acked = -1
+		}
+		logs[c] = keys
+		wg.Add(1)
+		go func(c int, crng *rand.Rand) {
+			defer wg.Done()
+			for i := 0; i < sched.opsPer; i++ {
+				slot := crng.IntN(sched.keysPer)
+				key := uint64(c)<<20 | uint64(slot)
+				val := uint64(c)<<32 | uint64(i+1)
+				kw := &logs[c][slot]
+				kw.vals = append(kw.vals, val)
+				if err := st.Put(key, val); err != nil {
+					// ErrCrashed (or a racing nack): stop; the write stays
+					// recorded as issued-but-unacked.
+					return
+				}
+				kw.acked = len(kw.vals) - 1
+			}
+		}(c, rand.New(rand.NewPCG(workloadSeed, uint64(c))))
+	}
+	wg.Wait()
+	inj.Disable()
+
+	if _, fired := inj.Fired(); fired {
+		<-st.Crashed()
+		st, rrep, err = kv.Recover(h, o.storeOptions(nil))
+		if err != nil {
+			return 0, rrep, err
+		}
+	}
+	if err := st.CheckInvariants(); err != nil {
+		return checks, rrep, err
+	}
+	checks++
+	for c := range logs {
+		for slot := range logs[c] {
+			kw := &logs[c][slot]
+			key := uint64(c)<<20 | uint64(slot)
+			got, found, err := st.Get(key)
+			if err != nil {
+				return checks, rrep, err
+			}
+			if !found {
+				if kw.acked >= 0 {
+					return checks, rrep, fmt.Errorf("key %#x absent but write %d was acked", key, kw.acked)
+				}
+				checks++
+				continue
+			}
+			ok := false
+			for i := max(kw.acked, 0); i < len(kw.vals); i++ {
+				if kw.vals[i] == got {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return checks, rrep, fmt.Errorf("key %#x = %#x, not among writes ≥ last acked (%v, acked %d)",
+					key, got, kw.vals, kw.acked)
+			}
+			checks++
+		}
+	}
+	if err := st.Close(); err != nil {
+		return checks, rrep, err
+	}
+	if err := h.CheckConsistency(); err != nil {
+		return checks, rrep, err
+	}
+	checks++
+	if n := h.DirtyCount(); n != 0 {
+		return checks, rrep, fmt.Errorf("%d dirty lines after store closed", n)
+	}
+	checks++
+	return checks, rrep, nil
+}

@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrashExplorationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps run in internal/faultinject; skip the aggregate in -short")
+	}
+	r, err := CrashExploration(4)
+	if err != nil {
+		t.Fatalf("CrashExploration: %v", err)
+	}
+	if r.KV.Sites < 100 {
+		t.Errorf("kv sweep enumerated %d sites, want >= 100", r.KV.Sites)
+	}
+	if len(r.Atlas) != 4 {
+		t.Errorf("expected 4 atlas policy sweeps, got %d", len(r.Atlas))
+	}
+	tab := r.Table().String()
+	for _, want := range []string{"kv exhaustive", "atlas/ER", "total", "sites by boundary kind"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+}

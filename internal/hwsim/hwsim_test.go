@@ -1,7 +1,7 @@
 package hwsim
 
 import (
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"testing"
 	"testing/quick"
 
@@ -219,7 +219,7 @@ func TestL1MissRatio(t *testing.T) {
 
 func TestL1InvalidateRandom(t *testing.T) {
 	c := NewL1Cache(16, 2)
-	rng := rand.New(rand.NewSource(9))
+	rng := testutil.Rand(t, 9)
 	if c.InvalidateRandom(rng) {
 		t.Fatal("invalidated from empty cache")
 	}
@@ -242,7 +242,7 @@ func TestL1NonPowerOfTwoRounded(t *testing.T) {
 // never makes a drain finish earlier.
 func TestQuickEngineMonotoneClock(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		e := NewEngine(testModel(), 1+rng.Intn(8))
 		prev := 0.0
 		for op := 0; op < 200; op++ {
@@ -276,7 +276,7 @@ func TestQuickEngineMonotoneClock(t *testing.T) {
 // always sum to accesses.
 func TestQuickL1Invariants(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		c := NewL1Cache(32, 1+rng.Intn(4))
 		for op := 0; op < 500; op++ {
 			switch rng.Intn(3) {

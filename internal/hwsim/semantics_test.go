@@ -1,0 +1,123 @@
+package hwsim
+
+import (
+	"testing"
+
+	"nvmcache/internal/trace"
+)
+
+// TestL1LRUPromotionOrder pins the full replacement order of one set: a
+// hit moves the line to MRU, so the victim under conflict pressure is
+// always the least-recently *touched* line, not the least-recently
+// *filled* one.
+func TestL1LRUPromotionOrder(t *testing.T) {
+	c := NewL1Cache(16, 4) // 4 sets × 4 ways; lines 0,4,8,12,16 all map to set 0
+	for _, l := range []trace.LineAddr{0, 4, 8, 12} {
+		if !c.Access(l) {
+			t.Fatalf("cold access to %d hit", l)
+		}
+	}
+	// Recency is now 12,8,4,0. Touch 0 and 4: recency becomes 4,0,12,8.
+	if c.Access(0) || c.Access(4) {
+		t.Fatal("warm re-touch missed")
+	}
+	// Two conflicting fills evict in LRU order: first 8, then 12.
+	c.Access(16)
+	if c.Resident(8) {
+		t.Fatal("victim was not the LRU line (8 survived)")
+	}
+	if !c.Resident(12) {
+		t.Fatal("12 evicted before 8")
+	}
+	c.Access(20)
+	if c.Resident(12) {
+		t.Fatal("second victim was not the LRU line (12 survived)")
+	}
+	for _, l := range []trace.LineAddr{0, 4, 16, 20} {
+		if !c.Resident(l) {
+			t.Fatalf("recently touched line %d evicted", l)
+		}
+	}
+}
+
+// TestL1ClflushVersusRetain pins the distinction the cost model is built
+// on: clflush (Invalidate) forces the next access to miss, while a
+// write-back that retains the line (clwb — no Invalidate call) leaves it
+// hitting. This is the L1-side counterpart of the engine's NoInvalidate
+// penalty accounting.
+func TestL1ClflushVersusRetain(t *testing.T) {
+	clflush := NewL1Cache(8, 2)
+	clwb := NewL1Cache(8, 2)
+	for pass := 0; pass < 4; pass++ {
+		for l := trace.LineAddr(0); l < 4; l++ {
+			clflush.Access(l)
+			clflush.Invalidate(l) // clflush: write back and drop
+			clwb.Access(l)        // clwb: write back, line stays valid
+		}
+	}
+	if got := clflush.MissRatio(); got != 1 {
+		t.Fatalf("clflush-after-every-store miss ratio %v, want 1", got)
+	}
+	// clwb only pays the 4 compulsory misses out of 16 accesses.
+	if got, want := clwb.MissRatio(), 0.25; got != want {
+		t.Fatalf("clwb miss ratio %v, want %v", got, want)
+	}
+}
+
+// TestEngineBoundedAsynchronyOrder pins the flush-slot scheduler: with
+// MaxOutstanding slots, the (K+1)-th in-flight flush waits for the
+// *earliest* completion, not the latest, and computation between flushes
+// retires slots so the wait shrinks by exactly the overlapped amount.
+func TestEngineBoundedAsynchronyOrder(t *testing.T) {
+	e := NewEngine(testModel(), 1) // issue 5, latency 100, 2 slots
+	e.FlushAsync(1)                // issued at 5, completes 105
+	// 6 stores × 10 cycles of compute overlap with the transfer.
+	for i := 0; i < 6; i++ {
+		e.OnStore(trace.LineAddr(100+i), NoInstrument)
+	}
+	e.FlushAsync(2) // issued at 70, completes 170
+	if e.Now() != 70 {
+		t.Fatalf("second flush issued at %v, want 70", e.Now())
+	}
+	e.FlushAsync(3) // issue at 75; both slots busy → wait for earliest (105)
+	if e.Now() != 105 {
+		t.Fatalf("queue-full flush resumed at %v, want 105 (earliest slot)", e.Now())
+	}
+	if got := e.Stats().QueueStall; got != 30 {
+		t.Fatalf("queue stall %v, want 30", got)
+	}
+	// Drain now waits for the later of the two live transfers:
+	// flush 2 done at 170, flush 3 done at 205.
+	e.FlushDrain(nil)
+	if e.Now() != 205 {
+		t.Fatalf("drain finished at %v, want 205 (latest in-flight)", e.Now())
+	}
+}
+
+// TestSinkSeam pins the Sink adapter: FlushLine maps to one async flush,
+// Drain(lines) to synchronous flushes plus the barrier wait, Drain(nil)
+// to a pure barrier — and the policy-visible FlushStats mirror exactly
+// what the engine was charged for.
+func TestSinkSeam(t *testing.T) {
+	e := NewEngine(testModel(), 1)
+	s := NewSink(e)
+	s.FlushLine(1)
+	s.FlushLine(2)
+	s.Drain([]trace.LineAddr{3, 4})
+	s.Drain(nil)
+	st := s.Stats()
+	if st.Async != 2 || st.Drained != 2 || st.Barriers != 1 {
+		t.Fatalf("sink stats %+v, want Async=2 Drained=2 Barriers=1", st)
+	}
+	es := e.Stats()
+	if es.AsyncFlushes != st.Async || es.DrainFlushes != st.Drained {
+		t.Fatalf("engine charged %d/%d flushes, sink reported %d/%d",
+			es.AsyncFlushes, es.DrainFlushes, st.Async, st.Drained)
+	}
+	if s.Engine() != e {
+		t.Fatal("Engine() accessor broken")
+	}
+	if es.DrainStall <= 0 {
+		t.Fatal("drain barrier charged no stall")
+	}
+}

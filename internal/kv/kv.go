@@ -71,6 +71,23 @@ type Options struct {
 	// crashes with that batch unacked and recoverable only by rollback.
 	// batch is the shard's committed-batch count so far.
 	CrashBeforeCommit func(shard, batch, size int) bool
+
+	// WrapSink and UndoHook are forwarded to the underlying atlas runtime
+	// (atlas.Options), interposing on each shard thread's flush sink and
+	// undo log. internal/faultinject uses them to number every persistence
+	// boundary of the group-commit path as a crash-exploration site. Shard
+	// i's thread id is i.
+	WrapSink func(thread int32, sink core.FlushSink) core.FlushSink
+	UndoHook func(op atlas.UndoOp)
+	// AckHook runs on the shard writer between a batch's durable commit
+	// and the delivery of its acks — the last boundary at which a crash
+	// leaves committed-but-unacked writes.
+	AckHook func(shard int)
+	// IsInjectedCrash classifies a panic raised by one of the hooks above
+	// as a simulated power failure: the shard writer then abandons its
+	// FASE and crashes the store exactly as CrashBeforeCommit does. Panics
+	// it does not claim propagate unchanged.
+	IsInjectedCrash func(r any) bool
 }
 
 // DefaultOptions returns the serving configuration used by cmd/nvserver.
@@ -163,7 +180,8 @@ type Store struct {
 func runtimeOptions(o Options) atlas.Options {
 	// Trace recording is always off: a serving store runs indefinitely and
 	// per-store trace buffers grow without bound.
-	return atlas.Options{Policy: o.Policy, Config: o.Config, LogEntries: o.LogEntries, DisableTrace: true}
+	return atlas.Options{Policy: o.Policy, Config: o.Config, LogEntries: o.LogEntries, DisableTrace: true,
+		WrapSink: o.WrapSink, UndoHook: o.UndoHook}
 }
 
 // Open creates a new store in an empty heap: a shard directory (shard

@@ -183,6 +183,18 @@ func nackAll(batch []request, err error) {
 	}
 }
 
+// batchOutcome describes how applyBatch left the shard's transaction.
+type batchOutcome uint8
+
+const (
+	batchCommitted     batchOutcome = iota
+	batchBeginErr                   // opening the transaction failed
+	batchFailed                     // pre-commit op failure; transaction aborted
+	batchCommitErr                  // the durable commit itself failed
+	batchCrashInjected              // power failure injected mid-FASE on this shard
+	batchCrashRace                  // a concurrent crash caught this shard mid-FASE
+)
+
 // commitBatch applies the batch inside one FASE and acks after the commit
 // is durable. It reports whether the store crashed (the writer must exit).
 func (sh *shard) commitBatch(batch []request) (crashed bool) {
@@ -191,11 +203,56 @@ func (sh *shard) commitBatch(batch []request) (crashed bool) {
 		return true
 	}
 	pre := sh.th.FlushStats()
-	if err := sh.db.Begin(); err != nil {
-		nackAll(batch, err)
-		return false
-	}
 	results := make([]result, len(batch))
+	outcome, failed := sh.applyBatch(batch, results)
+	switch outcome {
+	case batchBeginErr, batchCommitErr:
+		nackAll(batch, failed)
+		return false
+	case batchFailed:
+		sh.aborts.Add(1)
+		nackAll(batch, failed)
+		return false
+	case batchCrashInjected:
+		// Injected power failure: if it hit mid-FASE the undo log is still
+		// active and Recover rolls the batch back in full; if it hit at the
+		// ack boundary the batch is durable but nacked, which the service
+		// contract permits (ErrCrashed promises nothing either way).
+		sh.st.initiateCrash(sh)
+		nackAll(batch, ErrCrashed)
+		return true
+	case batchCrashRace:
+		nackAll(batch, ErrCrashed)
+		return true
+	}
+	post := sh.th.FlushStats()
+	sh.publish()
+	sh.note(batch, pre, post)
+	for i := range batch {
+		batch[i].done <- results[i]
+	}
+	return false
+}
+
+// applyBatch runs the whole FASE — Begin, the batch's mutations, the
+// crash hooks, and the durable commit. A panic claimed by
+// Options.IsInjectedCrash — a fault-injection site firing inside a store,
+// flush, or undo-log write — abandons the FASE with its undo log still
+// active, exactly as a power failure at that instruction would; panics it
+// does not claim propagate.
+func (sh *shard) applyBatch(batch []request, results []result) (outcome batchOutcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			claim := sh.st.opts.IsInjectedCrash
+			if claim == nil || !claim(r) {
+				panic(r)
+			}
+			outcome, err = batchCrashInjected, ErrCrashed
+		}
+	}()
+	if err := sh.db.Begin(); err != nil {
+		return batchBeginErr, err
+	}
 	var failed error
 	for i := range batch {
 		r := &batch[i]
@@ -216,33 +273,24 @@ func (sh *shard) commitBatch(batch []request) (crashed bool) {
 		if aerr := sh.db.Abort(); aerr != nil {
 			failed = fmt.Errorf("%w (abort: %v)", failed, aerr)
 		}
-		sh.aborts.Add(1)
-		nackAll(batch, failed)
-		return false
+		return batchFailed, failed
 	}
 	if hook := sh.st.opts.CrashBeforeCommit; hook != nil &&
 		hook(sh.id, int(sh.batches.Load()), len(batch)) {
-		// Injected power failure in the middle of the FASE: the undo log is
-		// still active, so Recover rolls this batch back in full.
-		sh.st.initiateCrash(sh)
-		nackAll(batch, ErrCrashed)
-		return true
+		return batchCrashInjected, ErrCrashed
 	}
 	if sh.st.crashing.Load() {
 		// A concurrent crash caught us mid-FASE: abandon without
 		// committing, exactly as the power failure would.
-		nackAll(batch, ErrCrashed)
-		return true
+		return batchCrashRace, ErrCrashed
 	}
 	if err := sh.db.Commit(); err != nil {
-		nackAll(batch, err)
-		return false
+		return batchCommitErr, err
 	}
-	post := sh.th.FlushStats()
-	sh.publish()
-	sh.note(batch, pre, post)
-	for i := range batch {
-		batch[i].done <- results[i]
+	if hook := sh.st.opts.AckHook; hook != nil {
+		// The last crash boundary: the commit is durable but no requester
+		// has been told. A crash here must lose no data, only acks.
+		hook(sh.id)
 	}
-	return false
+	return batchCommitted, nil
 }

@@ -1,0 +1,57 @@
+package locality
+
+import (
+	"math"
+	"testing"
+)
+
+// bytesToSeq maps fuzz bytes onto a renamed write sequence. The low bits
+// pick the datum, so even random inputs have plenty of reuse; length is
+// capped to keep the O(n·k) oracle affordable.
+func bytesToSeq(data []byte) []uint64 {
+	const maxLen = 192
+	if len(data) > maxLen {
+		data = data[:maxLen]
+	}
+	seq := make([]uint64, len(data))
+	for i, b := range data {
+		seq[i] = uint64(b % 13)
+	}
+	return seq
+}
+
+// FuzzReuseDuality differentially checks the linear-time all-window
+// analysis against the defining O(n·k)-per-k window enumeration, and pins
+// the paper's duality reuse(k) + fp(k) = k at every timescale: each of a
+// window's k writes is either a reuse of something earlier in the window
+// or part of its footprint, never both. Seed corpus in
+// testdata/fuzz/FuzzReuseDuality.
+func FuzzReuseDuality(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{1, 2, 1, 2, 1, 2, 9, 9})
+	f.Add([]byte("the same address stream, written twicethe same address stream, written twice"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq := bytesToSeq(data)
+		n := len(seq)
+		rc := ReuseAll(seq)
+		fc := FootprintAll(seq)
+		if len(rc.Reuse) != n+1 || len(fc.Fp) != n+1 {
+			t.Fatalf("curve lengths %d/%d for n=%d", len(rc.Reuse), len(fc.Fp), n)
+		}
+		const eps = 1e-9
+		for k := 1; k <= n; k++ {
+			if got, want := rc.Reuse[k], reuseBrute(seq, k); math.Abs(got-want) > eps {
+				t.Fatalf("reuse(%d) = %v, oracle %v (seq %v)", k, got, want, seq)
+			}
+			if got, want := fc.Fp[k], footprintBrute(seq, k); math.Abs(got-want) > eps {
+				t.Fatalf("fp(%d) = %v, oracle %v (seq %v)", k, got, want, seq)
+			}
+			if got := rc.Reuse[k] + fc.Fp[k]; math.Abs(got-float64(k)) > eps {
+				t.Fatalf("duality broken: reuse(%d)+fp(%d) = %v, want %d (seq %v)", k, k, got, k, seq)
+			}
+		}
+	})
+}

@@ -2,7 +2,7 @@ package locality
 
 import (
 	"math"
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"testing"
 	"testing/quick"
 )
@@ -45,7 +45,7 @@ func TestStackDistanceMRCDeeperThanMax(t *testing.T) {
 // capacity (LRU inclusion).
 func TestQuickStackDistanceMonotone(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		n := 1 + rng.Intn(300)
 		s := make([]uint64, n)
 		for i := range s {
@@ -93,7 +93,7 @@ func TestMRCFromReuseMatchesSimulationCyclic(t *testing.T) {
 }
 
 func TestMRCFromReuseMonotone(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := testutil.Rand(t, 5)
 	for trial := 0; trial < 20; trial++ {
 		n := 50 + rng.Intn(500)
 		s := make([]uint64, n)

@@ -1,7 +1,7 @@
 package locality
 
 import (
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -29,7 +29,7 @@ func TestParallelMatchesSequentialSmall(t *testing.T) {
 // arbitrary traces and worker counts, including cross-chunk reuse.
 func TestQuickParallelBitExact(t *testing.T) {
 	f := func(seed int64, w8 uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		n := 1 + rng.Intn(500)
 		vocab := 1 + rng.Intn(12)
 		s := make([]uint64, n)
@@ -75,7 +75,7 @@ func TestParallelDefaultWorkers(t *testing.T) {
 // only exposes the interval-materialization overhead. The benchmark exists
 // to measure that trade-off wherever it runs.
 func BenchmarkReuseAllParallel(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rand(b, 3)
 	s := make([]uint64, 1<<21)
 	for i := range s {
 		s[i] = uint64(rng.Intn(1 << 13))

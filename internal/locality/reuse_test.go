@@ -2,7 +2,7 @@ package locality
 
 import (
 	"math"
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"testing"
 	"testing/quick"
 )
@@ -83,7 +83,7 @@ func TestReuseABABPattern(t *testing.T) {
 }
 
 func TestReuseAllMatchesBruteForce(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := testutil.Rand(t, 7)
 	for trial := 0; trial < 25; trial++ {
 		n := 1 + rng.Intn(40)
 		vocab := 1 + rng.Intn(8)
@@ -121,7 +121,7 @@ func TestReuseAllEdgeCases(t *testing.T) {
 }
 
 func TestFootprintMatchesBruteForce(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := testutil.Rand(t, 11)
 	for trial := 0; trial < 25; trial++ {
 		n := 1 + rng.Intn(40)
 		vocab := 1 + rng.Intn(8)
@@ -145,7 +145,7 @@ func TestFootprintMatchesBruteForce(t *testing.T) {
 // is a strong cross-validation of both.
 func TestQuickDualityReusePlusFootprint(t *testing.T) {
 	f := func(seed int64, vocab8 uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		n := 1 + rng.Intn(200)
 		vocab := 1 + int(vocab8)%16
 		s := make([]uint64, n)
@@ -170,7 +170,7 @@ func TestQuickDualityReusePlusFootprint(t *testing.T) {
 // footprint grows by at most one per extra access) and reuse(k) ≤ k−1.
 func TestQuickReuseMonotonicity(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		n := 2 + rng.Intn(150)
 		s := make([]uint64, n)
 		for i := range s {
@@ -193,7 +193,7 @@ func TestQuickReuseMonotonicity(t *testing.T) {
 }
 
 func BenchmarkReuseAll(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rand(b, 3)
 	s := make([]uint64, 1<<20)
 	for i := range s {
 		s[i] = uint64(rng.Intn(4096))
@@ -207,7 +207,7 @@ func BenchmarkReuseAll(b *testing.B) {
 }
 
 func BenchmarkFootprintAll(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rand(b, 3)
 	s := make([]uint64, 1<<20)
 	for i := range s {
 		s[i] = uint64(rng.Intn(4096))

@@ -1,7 +1,7 @@
 package locality
 
 import (
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"testing"
 	"testing/quick"
 )
@@ -54,7 +54,7 @@ func TestReuseDistanceEmpty(t *testing.T) {
 // every capacity both cover.
 func TestQuickReuseDistanceMatchesStackSim(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		n := 1 + rng.Intn(400)
 		s := make([]uint64, n)
 		vocab := 1 + rng.Intn(30)
@@ -80,7 +80,7 @@ func TestQuickReuseDistanceMatchesStackSim(t *testing.T) {
 // equals N; hits are monotone in capacity.
 func TestQuickReuseDistanceInvariants(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		n := 1 + rng.Intn(300)
 		s := make([]uint64, n)
 		distinct := map[uint64]bool{}
@@ -139,7 +139,7 @@ func TestReuseDistanceVsTimescaleConversion(t *testing.T) {
 }
 
 func BenchmarkReuseDistanceExact(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rand(b, 3)
 	s := make([]uint64, 1<<20)
 	for i := range s {
 		s[i] = uint64(rng.Intn(4096))

@@ -1,7 +1,7 @@
 package mdb
 
 import (
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -114,7 +114,7 @@ func TestCursorOnSnapshotIgnoresLaterWrites(t *testing.T) {
 // sorted order, across random tree shapes with deletions.
 func TestQuickCursorMatchesSortedKeys(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		rt, db := quickDB(seed)
 		_ = rt
 		ref := map[uint64]uint64{}

@@ -2,7 +2,7 @@ package mdb
 
 import (
 	"errors"
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"testing"
 	"testing/quick"
 
@@ -288,7 +288,7 @@ func TestCommittedTxnsSurviveCrash(t *testing.T) {
 // puts, deletes and commits, and invariants hold throughout.
 func TestQuickTreeMatchesMap(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		h := pmem.New(1 << 24)
 		opts := atlas.DefaultOptions()
 		opts.Policy = core.Lazy

@@ -2,7 +2,7 @@ package pmem
 
 import (
 	"errors"
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"testing"
 	"testing/quick"
 )
@@ -119,7 +119,7 @@ func TestOpenPoolRejectsGarbage(t *testing.T) {
 // addresses stay inside the arena.
 func TestQuickPoolConsistency(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		h := New(1 << 18)
 		p, err := NewPool(h, 64, 32)
 		if err != nil {

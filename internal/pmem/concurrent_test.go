@@ -1,7 +1,7 @@
 package pmem
 
 import (
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -152,7 +152,7 @@ func TestParallelDisjointLines(t *testing.T) {
 // volatile and durable views at every crash and at the end.
 func TestDifferentialSerialOracle(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		h := New(2048)
 		s := NewSerial(2048)
 		ha, _ := h.AllocLines(1024)

@@ -2,7 +2,7 @@ package pmem
 
 import (
 	"bytes"
-	"math/rand"
+	"nvmcache/internal/testutil"
 	"testing"
 	"testing/quick"
 
@@ -210,7 +210,7 @@ func TestSinkAdapter(t *testing.T) {
 // crash always makes every line clean and equal across views.
 func TestQuickCrashSemantics(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		h := New(2048)
 		base, _ := h.AllocLines(1024) // 16 lines
 		for op := 0; op < 200; op++ {

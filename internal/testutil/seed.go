@@ -1,0 +1,34 @@
+// Package testutil holds helpers shared by the repository's tests. It
+// contains no production code and is imported only from _test files.
+package testutil
+
+import (
+	"flag"
+	"math/rand"
+	"testing"
+)
+
+// seedFlag is the single knob behind every randomized test in the
+// repository. The default keeps runs reproducible; pass a different value
+// (go test ./... -args -testutil.seed=7) to explore other schedules. An
+// audit (see DESIGN.md, Testing) confirmed no test draws from the global
+// rand or from time-derived seeds.
+var seedFlag = flag.Int64("testutil.seed", 1, "base seed for randomized tests")
+
+// Seed derives a deterministic per-call-site seed from the -testutil.seed
+// flag and salt, and logs it so a failing run's output states exactly how
+// to reproduce it (t.Logf only surfaces on failure or -v).
+func Seed(tb testing.TB, salt int64) int64 {
+	tb.Helper()
+	seed := *seedFlag*0x9E3779B9 + salt
+	tb.Logf("rng seed %d (salt %d; rerun with -args -testutil.seed=N to vary)", seed, salt)
+	return seed
+}
+
+// Rand returns a deterministic source seeded via Seed. Each call site
+// should pass a distinct salt so tests in one binary do not share
+// streams.
+func Rand(tb testing.TB, salt int64) *rand.Rand {
+	tb.Helper()
+	return rand.New(rand.NewSource(Seed(tb, salt)))
+}

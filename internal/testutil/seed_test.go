@@ -1,0 +1,31 @@
+package testutil
+
+import "testing"
+
+func TestSeedDeterministic(t *testing.T) {
+	if Seed(t, 3) != Seed(t, 3) {
+		t.Fatal("same salt produced different seeds")
+	}
+	if Seed(t, 1) == Seed(t, 2) {
+		t.Fatal("different salts collided")
+	}
+}
+
+func TestRandStreamsIndependent(t *testing.T) {
+	a, b := Rand(t, 1), Rand(t, 2)
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Int63() != b.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct salts produced identical streams")
+	}
+	c, d := Rand(t, 5), Rand(t, 5)
+	for i := 0; i < 8; i++ {
+		if c.Int63() != d.Int63() {
+			t.Fatal("equal salts produced different streams")
+		}
+	}
+}

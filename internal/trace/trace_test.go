@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math/rand"
+	"nvmcache/internal/testutil"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -255,7 +256,7 @@ func TestRenameAllThreadIndependence(t *testing.T) {
 }
 
 func TestEventsRoundTrip(t *testing.T) {
-	tr := randomTrace(rand.New(rand.NewSource(1)), 3, 20, 50)
+	tr := randomTrace(testutil.Rand(t, 1), 3, 20, 50)
 	back := FromEvents(tr.Events())
 	if !reflect.DeepEqual(tr, back) {
 		t.Fatalf("event round trip mismatch")
@@ -263,7 +264,7 @@ func TestEventsRoundTrip(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := testutil.Rand(t, 42)
 	for trial := 0; trial < 20; trial++ {
 		tr := randomTrace(rng, 1+rng.Intn(4), 1+rng.Intn(30), 1+rng.Intn(80))
 		var buf bytes.Buffer
@@ -306,7 +307,7 @@ func TestEncodeDecodeEmptyTrace(t *testing.T) {
 // Property: encode/decode is an identity on arbitrary well-formed traces.
 func TestQuickEncodeRoundTrip(t *testing.T) {
 	f := func(seed int64, nThreads, nFASE, nWrites uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		tr := randomTrace(rng, 1+int(nThreads)%4, 1+int(nFASE)%20, 1+int(nWrites)%60)
 		var buf bytes.Buffer
 		if err := Encode(&buf, tr); err != nil {
@@ -328,7 +329,7 @@ func TestQuickEncodeRoundTrip(t *testing.T) {
 // are equal.
 func TestQuickRenameCorrectness(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := testutil.Rand(t, seed)
 		tr := randomTrace(rng, 1, 1+rng.Intn(10), 1+rng.Intn(60))
 		s := tr.Threads[0]
 		renamed := RenameFASEs(s)
@@ -381,7 +382,7 @@ func randomTrace(rng *rand.Rand, threads, fases, writesPerFASE int) *Trace {
 // Decode must reject (not panic on) arbitrary malformed inputs, including
 // truncations of valid traces.
 func TestDecodeRobustness(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
+	rng := testutil.Rand(t, 99)
 	tr := randomTrace(rng, 2, 10, 20)
 	var buf bytes.Buffer
 	if err := Encode(&buf, tr); err != nil {
