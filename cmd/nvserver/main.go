@@ -28,6 +28,9 @@ func main() {
 		delay      = flag.Duration("delay", 2*time.Millisecond, "max time a batch waits to fill")
 		pool       = flag.Int("pool-pages", 1<<13, "per-shard B+-tree page pool capacity")
 		policy     = flag.String("policy", "SC", "persistence policy: ER, LA, AT, SC, SC-offline, BEST")
+		pipeline   = flag.Bool("pipeline", false, "asynchronous batched flush pipeline: overlap each batch's drain with the next batch's stores")
+		pipeDepth  = flag.Int("pipeline-depth", 256, "pipeline ring capacity in pending line flushes (backpressure bound)")
+		pipeBatch  = flag.Int("pipeline-batch", 64, "max lines per pipeline worker batch")
 		selftest   = flag.Bool("selftest", false, "run the crash/recovery self-test and exit")
 		exhaustive = flag.Bool("exhaustive", false, "self-test: add phase C, the exhaustive crash-point exploration")
 		clients    = flag.Int("clients", 8, "self-test: concurrent closed-loop clients")
@@ -47,6 +50,9 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Policy = pk
+	if *pipeline {
+		opts.Pipeline = core.PipelineConfig{Enabled: true, Depth: *pipeDepth, BatchSize: *pipeBatch}
+	}
 
 	if *selftest {
 		if err := runSelfTest(opts, *clients, *ops, *seed, *exhaustive); err != nil {
@@ -83,8 +89,9 @@ func serve(addr string, opts kv.Options) error {
 		return err
 	}
 	srv := newServer(st, ln)
-	fmt.Printf("nvserver: serving on %s (shards=%d batch<=%d delay<=%v policy=%v heap=%dKiB)\n",
-		ln.Addr(), opts.Shards, opts.MaxBatch, opts.MaxDelay, opts.Policy, h.Size()/1024)
+	fmt.Printf("nvserver: serving on %s (shards=%d batch<=%d delay<=%v policy=%v pipeline=%v heap=%dKiB)\n",
+		ln.Addr(), opts.Shards, opts.MaxBatch, opts.MaxDelay, opts.Policy,
+		opts.Pipeline.Enabled, h.Size()/1024)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -211,52 +211,59 @@ func TestFlushStatsDuringMutation(t *testing.T) {
 // BenchmarkParallelStores measures store-throughput scaling: g goroutines,
 // one Thread each (policy SC), disjoint heap regions, FASEs of 64 stores.
 // Under the old global heap mutex this flatlined at ~1× regardless of g;
-// the sharded path must scale.
+// the sharded path must scale. The pipeline variants run the same workload
+// with FASE-end drains handed to each thread's background flush worker.
 func BenchmarkParallelStores(b *testing.B) {
-	for _, g := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
-			h := pmem.New(1 << 26)
-			opts := DefaultOptions()
-			opts.Policy = core.SoftCacheOnline
-			opts.DisableTrace = true
-			rt := NewRuntime(h, opts)
-			const regionWords = 1 << 13
-			threads := make([]*Thread, g)
-			bases := make([]uint64, g)
-			for i := range threads {
-				th, err := rt.NewThread()
-				if err != nil {
-					b.Fatal(err)
+	for _, mode := range []string{"sync", "pipeline"} {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", mode, g), func(b *testing.B) {
+				h := pmem.New(1 << 26)
+				opts := DefaultOptions()
+				opts.Policy = core.SoftCacheOnline
+				opts.DisableTrace = true
+				if mode == "pipeline" {
+					opts.Pipeline = core.PipelineConfig{Enabled: true}
 				}
-				threads[i] = th
-				if bases[i], err = h.AllocLines(regionWords * 8); err != nil {
-					b.Fatal(err)
+				rt := NewRuntime(h, opts)
+				const regionWords = 1 << 13
+				threads := make([]*Thread, g)
+				bases := make([]uint64, g)
+				for i := range threads {
+					th, err := rt.NewThread()
+					if err != nil {
+						b.Fatal(err)
+					}
+					threads[i] = th
+					if bases[i], err = h.AllocLines(regionWords * 8); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for i := 0; i < g; i++ {
-				wg.Add(1)
-				go func(th *Thread, base uint64) {
-					defer wg.Done()
-					for n := 0; n < b.N; n++ {
-						if n%64 == 0 {
-							th.FASEBegin()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for i := 0; i < g; i++ {
+					wg.Add(1)
+					go func(th *Thread, base uint64) {
+						defer wg.Done()
+						for n := 0; n < b.N; n++ {
+							if n%64 == 0 {
+								th.FASEBegin()
+							}
+							off := uint64(n%regionWords) * 8
+							th.Store64(base+off, uint64(n))
+							if n%64 == 63 {
+								th.FASEEnd()
+							}
 						}
-						off := uint64(n%regionWords) * 8
-						th.Store64(base+off, uint64(n))
-						if n%64 == 63 {
+						if th.InFASE() {
 							th.FASEEnd()
 						}
-					}
-					if th.InFASE() {
-						th.FASEEnd()
-					}
-				}(threads[i], bases[i])
-			}
-			wg.Wait()
-			b.StopTimer()
-			b.ReportMetric(float64(b.N)*float64(g)/b.Elapsed().Seconds(), "stores/sec")
-		})
+					}(threads[i], bases[i])
+				}
+				wg.Wait()
+				b.StopTimer()
+				rt.Close()
+				b.ReportMetric(float64(b.N)*float64(g)/b.Elapsed().Seconds(), "stores/sec")
+			})
+		}
 	}
 }

@@ -1,0 +1,145 @@
+package atlas
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmcache/internal/core"
+	"nvmcache/internal/pmem"
+)
+
+// pipelineHeapWorkload runs a deterministic single-thread FASE workload and
+// returns the heap after a clean shutdown plus a simulated power cut: only
+// state the runtime actually persisted survives.
+func pipelineHeapWorkload(t *testing.T, cfg core.PipelineConfig, overlapped bool) (*pmem.Heap, uint64) {
+	t.Helper()
+	h := pmem.New(1 << 22)
+	opts := DefaultOptions()
+	opts.Policy = core.SoftCacheOnline
+	opts.DisableTrace = true
+	opts.Pipeline = cfg
+	rt := NewRuntime(h, opts)
+	// Allocate the data region before the thread: the pipelined runtime
+	// allocates an extra undo log per thread, which would shift the bump
+	// allocator and make the images incomparable.
+	const words = 1000
+	base, err := h.AllocLines(words * 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev FASETicket
+	havePrev := false
+	for f := 0; f < 30; f++ {
+		th.FASEBegin()
+		for w := 0; w < 50; w++ {
+			addr := base + uint64((f*13+w*7)%words)*8
+			th.Store64(addr, uint64(f*1000+w+1))
+		}
+		if overlapped {
+			tk := th.FASEPublish()
+			if havePrev {
+				th.FASEAwait(prev)
+			}
+			prev, havePrev = tk, true
+		} else {
+			th.FASEEnd()
+		}
+	}
+	if havePrev {
+		th.FASEAwait(prev)
+	}
+	rt.Close()
+	if n := h.DirtyCount(); n != 0 {
+		t.Fatalf("%d dirty lines after clean close", n)
+	}
+	h.Crash() // keep only the durable view; a clean close must lose nothing
+	return h, base
+}
+
+// TestPipelinePersistedEquivalence is the end-to-end equivalence property:
+// the identical workload run synchronously, through the async pipeline with
+// plain FASEEnd, and through the overlapped publish/await protocol must
+// leave byte-identical durable heap images after a clean close.
+func TestPipelinePersistedEquivalence(t *testing.T) {
+	hSync, base := pipelineHeapWorkload(t, core.PipelineConfig{}, false)
+	want := hSync.ReadBytes(base, 1000*8)
+	nonzero := false
+	for _, b := range want {
+		if b != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("sync run persisted nothing")
+	}
+	variants := []struct {
+		name       string
+		cfg        core.PipelineConfig
+		overlapped bool
+	}{
+		{"pipeline-fase-end", core.PipelineConfig{Enabled: true, Depth: 64, BatchSize: 8}, false},
+		{"pipeline-overlapped", core.PipelineConfig{Enabled: true, Depth: 64, BatchSize: 8}, true},
+		{"pipeline-synchronous", core.PipelineConfig{Enabled: true, Synchronous: true, Depth: 64, BatchSize: 8}, false},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			h, b2 := pipelineHeapWorkload(t, v.cfg, v.overlapped)
+			if b2 != base {
+				t.Fatalf("allocator diverged: base %#x vs %#x", b2, base)
+			}
+			if got := h.ReadBytes(b2, 1000*8); !bytes.Equal(got, want) {
+				t.Fatalf("durable image diverges from the synchronous baseline")
+			}
+		})
+	}
+}
+
+// TestPipelineOverlapStats checks the overlapped protocol actually routes
+// drains through epochs: publishes outnumber zero, batches form, and the
+// awaited time is accounted.
+func TestPipelineOverlapStats(t *testing.T) {
+	h := pmem.New(1 << 22)
+	opts := DefaultOptions()
+	opts.Policy = core.SoftCacheOnline
+	opts.DisableTrace = true
+	opts.Pipeline = core.PipelineConfig{Enabled: true, Depth: 64, BatchSize: 8}
+	rt := NewRuntime(h, opts)
+	th, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := h.AllocLines(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev FASETicket
+	havePrev := false
+	for f := 0; f < 20; f++ {
+		th.FASEBegin()
+		for w := 0; w < 64; w++ {
+			th.Store64(base+uint64((f*64+w)%1024)*64, uint64(f+w+1))
+		}
+		tk := th.FASEPublish()
+		if havePrev {
+			th.FASEAwait(prev)
+		}
+		prev, havePrev = tk, true
+	}
+	th.FASEAwait(prev)
+	s := th.FlushStats()
+	if s.PipeEpochs < 20 {
+		t.Fatalf("epochs %d, want >= 20 (one per published FASE)", s.PipeEpochs)
+	}
+	if s.PipeBatches == 0 || s.PipeBatchLines == 0 {
+		t.Fatalf("no batches formed: %+v", s)
+	}
+	if th.Pipeline() == nil {
+		t.Fatal("Pipeline() accessor returned nil with pipeline enabled")
+	}
+	rt.Close()
+}

@@ -2,6 +2,8 @@ package atlas
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"nvmcache/internal/pmem"
 	"nvmcache/internal/trace"
@@ -19,6 +21,7 @@ import (
 //
 //	base+0:  status (1 = active FASE, 0 = committed)
 //	base+8:  entry count
+//	base+16: begin sequence (global order of FASE begins; see below)
 //	base+64: entries, 16 bytes each: data address, old value
 //
 // Logs are registered in a registry block pointed to by the heap's Meta
@@ -26,6 +29,13 @@ import (
 //
 //	reg+0:  number of registered logs
 //	reg+8:  log base addresses, 8 bytes each
+//
+// The begin sequence exists for the flush pipeline's FASE overlap: a
+// thread alternating between two logs can crash with both active, and a
+// word touched by both FASEs must be rolled back newest-first to restore
+// the oldest pre-image. Recover therefore applies active logs in
+// descending begin order (logs from heaps predating this word read
+// sequence 0 and keep their registry order).
 const (
 	logHeaderSize = trace.LineSize
 	logEntrySize  = 16
@@ -33,7 +43,13 @@ const (
 	registrySize  = 8 + 8*registryCap
 	logStatusOff  = 0
 	logCountOff   = 8
+	logSeqOff     = 16
 )
+
+// undoSeq numbers FASE begins globally (content only matters relative to
+// other logs of the same heap; a process-wide counter is the simplest
+// source that is still strictly monotonic per thread).
+var undoSeq atomic.Uint64
 
 // UndoOp names an undo-log persistence point for Options.UndoHook. Each is
 // a boundary at which a crash leaves the log in a distinct intermediate
@@ -145,6 +161,7 @@ func (l *undoLog) begin() {
 	l.droppedFASE = 0
 	clear(l.dedup)
 	l.heap.Write64Through(l.base+logCountOff, 0)
+	l.heap.Write64Through(l.base+logSeqOff, undoSeq.Add(1))
 	l.heap.Write64Through(l.base+logStatusOff, 1)
 }
 
@@ -222,12 +239,25 @@ func Recover(h *pmem.Heap) (RecoveryReport, error) {
 	if n > registryCap {
 		return rep, fmt.Errorf("atlas: corrupt registry count %d", n)
 	}
+	// Collect active logs, then roll them back newest-begin-first: with
+	// pipelined FASE overlap the same thread can leave two active logs, and
+	// a word both touched must end at the older FASE's pre-image.
+	type activeLog struct {
+		base uint64
+		seq  uint64
+	}
+	var active []activeLog
 	for i := uint64(0); i < n; i++ {
 		base := h.ReadUint64(reg + 8 + 8*i)
 		rep.LogsScanned++
 		if h.ReadUint64(base+logStatusOff) == 0 {
 			continue
 		}
+		active = append(active, activeLog{base: base, seq: h.ReadUint64(base + logSeqOff)})
+	}
+	sort.SliceStable(active, func(i, j int) bool { return active[i].seq > active[j].seq })
+	for _, al := range active {
+		base := al.base
 		count := h.ReadUint64(base + logCountOff)
 		rep.FASEsRolledBack++
 		for j := int64(count) - 1; j >= 0; j-- {

@@ -32,9 +32,10 @@ type node struct {
 type WriteCache struct {
 	capacity int
 	entries  map[trace.LineAddr]*node
-	head     *node // most recently used
-	tail     *node // least recently used
-	free     *node // freelist of recycled nodes
+	head     *node            // most recently used
+	tail     *node            // least recently used
+	free     *node            // freelist of recycled nodes
+	scratch  []trace.LineAddr // reused by Drain/Resize (hot path, one per FASE)
 }
 
 // NewWriteCache returns an empty cache with the given capacity (minimum 1).
@@ -81,15 +82,18 @@ func (c *WriteCache) Access(line trace.LineAddr) (hit bool, evicted trace.LineAd
 }
 
 // Drain removes and returns all buffered lines in LRU-to-MRU order,
-// emptying the cache. Called at the end of a FASE.
+// emptying the cache. Called at the end of a FASE — the hot path — so the
+// returned slice is a cache-owned scratch buffer, valid only until the next
+// Drain or Resize call. Returns nil when the cache is empty.
 func (c *WriteCache) Drain() []trace.LineAddr {
 	if len(c.entries) == 0 {
 		return nil
 	}
-	out := make([]trace.LineAddr, 0, len(c.entries))
+	out := c.scratch[:0]
 	for n := c.tail; n != nil; n = n.prev {
 		out = append(out, n.line)
 	}
+	c.scratch = out
 	c.Clear()
 	return out
 }
@@ -107,16 +111,22 @@ func (c *WriteCache) Clear() {
 }
 
 // Resize changes the capacity. Shrinking below the current occupancy evicts
-// least recently used lines, which are returned for flushing.
+// least recently used lines, which are returned for flushing. Like Drain,
+// the returned slice is the cache-owned scratch buffer, valid only until
+// the next Drain or Resize call; nil when nothing is evicted.
 func (c *WriteCache) Resize(capacity int) []trace.LineAddr {
 	if capacity < 1 {
 		capacity = 1
 	}
 	c.capacity = capacity
-	var out []trace.LineAddr
+	if len(c.entries) <= c.capacity {
+		return nil
+	}
+	out := c.scratch[:0]
 	for len(c.entries) > c.capacity {
 		out = append(out, c.evictLRU())
 	}
+	c.scratch = out
 	return out
 }
 

@@ -239,3 +239,52 @@ func BenchmarkWriteCacheAccess(b *testing.B) {
 		c.Access(lines[i%len(lines)])
 	}
 }
+
+// TestWriteCacheDrainAllocs pins the scratch-buffer reuse on the FASE hot
+// path: once warm, a fill + Drain cycle (and a shrinking Resize) must not
+// allocate — the drain slice is cache-owned scratch and the nodes come from
+// the freelist.
+func TestWriteCacheDrainAllocs(t *testing.T) {
+	const capacity = 50
+	c := NewWriteCache(capacity)
+	fill := func() {
+		for i := 0; i < capacity; i++ {
+			c.Access(trace.LineAddr(i))
+		}
+	}
+	fill()
+	c.Drain() // warm the scratch buffer and freelist
+	if n := testing.AllocsPerRun(100, func() {
+		fill()
+		if got := c.Drain(); len(got) != capacity {
+			t.Fatalf("drained %d lines, want %d", len(got), capacity)
+		}
+	}); n != 0 {
+		t.Fatalf("fill+Drain allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		fill()
+		if got := c.Resize(capacity / 2); len(got) != capacity/2 {
+			t.Fatalf("resize evicted %d lines, want %d", len(got), capacity/2)
+		}
+		c.Resize(capacity)
+		c.Clear()
+	}); n != 0 {
+		t.Fatalf("fill+Resize allocates %v per op, want 0", n)
+	}
+}
+
+// BenchmarkWriteCacheDrain measures the FASE-end drain cycle; allocs/op is
+// the scratch-reuse regression metric (must report 0).
+func BenchmarkWriteCacheDrain(b *testing.B) {
+	const capacity = 50
+	c := NewWriteCache(capacity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < capacity; j++ {
+			c.Access(trace.LineAddr(j))
+		}
+		c.Drain()
+	}
+}

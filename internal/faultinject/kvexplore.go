@@ -37,6 +37,12 @@ type KVOptions struct {
 	// policy and the injection points (policy → middleware → injector →
 	// pmem). Negative tests install DropDrains here.
 	Middleware func(core.FlushSink) core.FlushSink
+	// Pipeline runs the store under the asynchronous batched flush
+	// pipeline and kv's overlapped commit protocol (publish batch N, apply
+	// batch N+1, settle), in the pipeline's synchronous mode so the site
+	// enumeration stays deterministic: hand-off, per-batch and epoch
+	// boundaries join the site space.
+	Pipeline bool
 }
 
 // DefaultKVOptions keeps the exhaustive sweep in the low hundreds of
@@ -85,6 +91,9 @@ func (o KVOptions) storeOptions(inj *Injector) kv.Options {
 	ko.LogEntries = 1 << 12
 	ko.Policy = o.Policy
 	ko.Config = o.Config
+	if o.Pipeline {
+		ko.Pipeline = pipelineConfig(true, inj)
+	}
 	if inj != nil {
 		ko.WrapSink = func(id int32, s core.FlushSink) core.FlushSink {
 			s = inj.WrapSink(id, s)

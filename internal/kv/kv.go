@@ -65,6 +65,13 @@ type Options struct {
 	// (default: the paper's online-adaptive software cache).
 	Policy core.PolicyKind
 	Config core.Config
+	// Pipeline, when Enabled, gives every shard thread an asynchronous
+	// batched flush pipeline (core.FlushPipeline) and switches the writer
+	// to the overlapped commit protocol: batch N's FASE is published
+	// (mdb.CommitPublish) and batch N+1's stores and undo logging run
+	// while batch N drains in the background; acks still wait for
+	// durability (settle), only the wait moves off the apply path.
+	Pipeline core.PipelineConfig
 	// CrashBeforeCommit is a failure-injection hook: when it returns true
 	// the writer simulates a power failure in the middle of its FASE —
 	// after the batch's stores, before the commit — so the whole store
@@ -132,12 +139,16 @@ func (o Options) withDefaults() Options {
 // allocates (the registry grows across restarts).
 func RecommendedHeapBytes(o Options) uint64 {
 	o = o.withDefaults()
+	logs := uint64(1)
+	if o.Pipeline.Enabled {
+		logs = 2 // the spare overlap log each pipelined thread allocates
+	}
 	perShard := uint64(192)*uint64(o.PoolPages) + // page pool arena
-		16*uint64(o.LogEntries) + // undo log entries
-		4*64 // meta page, pool header, log header, slack
+		logs*16*uint64(o.LogEntries) + // undo log entries
+		8*64 // meta page, pool header, log headers, slack
 	total := uint64(o.Shards) * perShard
 	restarts := uint64(4) // undo logs re-allocated per recovery
-	total += restarts * uint64(o.Shards) * (16*uint64(o.LogEntries) + 64)
+	total += restarts * uint64(o.Shards) * logs * (16*uint64(o.LogEntries) + 64)
 	total += 64 + 8*uint64(o.Shards) + 1<<14 // directory + registry + slack
 	return total + total/4
 }
@@ -181,7 +192,7 @@ func runtimeOptions(o Options) atlas.Options {
 	// Trace recording is always off: a serving store runs indefinitely and
 	// per-store trace buffers grow without bound.
 	return atlas.Options{Policy: o.Policy, Config: o.Config, LogEntries: o.LogEntries, DisableTrace: true,
-		WrapSink: o.WrapSink, UndoHook: o.UndoHook}
+		WrapSink: o.WrapSink, UndoHook: o.UndoHook, Pipeline: o.Pipeline}
 }
 
 // Open creates a new store in an empty heap: a shard directory (shard
@@ -454,6 +465,11 @@ func (s *Store) initiateCrash(except *shard) error {
 		return ErrCrashed
 	}
 	close(s.crashCh)
+	// Tear down the flush pipelines first: a writer parked on backpressure
+	// or an epoch await (settle) is released by the abort and exits through
+	// its crash path, and no pipeline worker touches the heap after this
+	// returns — the volatile view below is dropped on a quiescent heap.
+	s.rt.CrashAbort()
 	for _, sh := range s.shards {
 		if sh != except {
 			<-sh.done

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nvmcache/internal/atlas"
+	"nvmcache/internal/core"
 	"nvmcache/internal/mdb"
 )
 
@@ -37,6 +38,20 @@ type genPages struct {
 	pages []uint64
 }
 
+// flightBatch is one group commit whose FASE has been published
+// (mdb.CommitPublish) but not yet settled: its epoch is draining through
+// the flush pipeline while the writer applies the next batch, and its
+// requesters are still waiting for acks.
+type flightBatch struct {
+	batch   []request
+	results []result
+	pc      *mdb.PendingCommit
+	root    uint64 // the published root, installed for readers at settle
+	gen     uint64
+	pre     core.FlushStats // thread flush counters straddling the apply
+	post    core.FlushStats
+}
+
 // shard is one engine: a COW B+-tree on its own atlas thread, mutated only
 // by its writer goroutine (run), read by anyone through pinned snapshots.
 type shard struct {
@@ -46,6 +61,11 @@ type shard struct {
 	db   *mdb.DB
 	ch   chan request
 	done chan struct{} // closed when the writer goroutine exits
+
+	// inFlight is the previous batch, commit-published but not settled
+	// (awaited, installed for readers, acked). Non-nil only between loop
+	// iterations of the overlapped protocol. Writer goroutine only.
+	inFlight *flightBatch
 
 	// Snapshot bookkeeping. curRoot/curGen are the last *committed* root
 	// and generation — never a mid-transaction root, which is why readers
@@ -102,10 +122,16 @@ func (sh *shard) onFreed(gen uint64, pages []uint64) {
 
 // publish installs the newly committed root for readers and recycles every
 // parked page no live snapshot can still reach.
-func (sh *shard) publish() {
+func (sh *shard) publish() { sh.publishView(sh.db.Snapshot(), sh.db.Generation()) }
+
+// publishView is publish with an explicit root/generation: the overlapped
+// protocol settles batch N after batch N+1 has already advanced the tree,
+// so readers must be handed N's root, not the db's current (still
+// undurable) one.
+func (sh *shard) publishView(root, gen uint64) {
 	sh.snapMu.Lock()
-	sh.curRoot = sh.db.Snapshot()
-	sh.curGen = sh.db.Generation()
+	sh.curRoot = root
+	sh.curGen = gen
 	minGen := uint64(math.MaxUint64)
 	for g := range sh.active {
 		if g < minGen {
@@ -132,9 +158,38 @@ func (sh *shard) publish() {
 
 // run is the shard's writer loop: take the first waiting request, gather a
 // batch (bounded by MaxBatch and MaxDelay), commit it as one FASE, ack.
+//
+// With the flush pipeline enabled the loop is overlapped: commitBatch
+// leaves the batch in flight (published, draining in the background) and
+// the writer immediately starts the next batch if work is already queued —
+// batch N+1's stores and undo logging run concurrently with batch N's
+// drain — settling the in-flight batch (await, install root, ack) as soon
+// as the queue goes idle or its successor is published.
 func (sh *shard) run() {
 	defer close(sh.done)
 	for {
+		if sh.inFlight != nil {
+			select {
+			case req, ok := <-sh.ch:
+				if !ok {
+					sh.settle()
+					return
+				}
+				batch := sh.gatherQueued(req)
+				if sh.commitBatch(batch) {
+					return
+				}
+			case <-sh.st.crashCh:
+				sh.dropInFlight()
+				return
+			default:
+				// Queue idle: stop overlapping and deliver the acks.
+				if sh.settle() {
+					return
+				}
+			}
+			continue
+		}
 		select {
 		case req, ok := <-sh.ch:
 			if !ok {
@@ -177,6 +232,27 @@ func (sh *shard) gather(first request) []request {
 	return batch
 }
 
+// gatherQueued collects a batch without waiting: while a published batch is
+// still in flight, the writer absorbs only requests that are already
+// queued — blocking on MaxDelay here would hold back the in-flight batch's
+// acks for no benefit.
+func (sh *shard) gatherQueued(first request) []request {
+	batch := make([]request, 1, sh.st.opts.MaxBatch)
+	batch[0] = first
+	for len(batch) < sh.st.opts.MaxBatch {
+		select {
+		case r, ok := <-sh.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
 func nackAll(batch []request, err error) {
 	for i := range batch {
 		batch[i].done <- result{err: err}
@@ -196,36 +272,58 @@ const (
 )
 
 // commitBatch applies the batch inside one FASE and acks after the commit
-// is durable. It reports whether the store crashed (the writer must exit).
+// is durable — directly, or (overlapped protocol) by leaving the published
+// batch in flight for a later settle. It reports whether the store crashed
+// (the writer must exit).
 func (sh *shard) commitBatch(batch []request) (crashed bool) {
 	if sh.st.crashing.Load() {
+		sh.dropInFlight()
 		nackAll(batch, ErrCrashed)
 		return true
 	}
 	pre := sh.th.FlushStats()
 	results := make([]result, len(batch))
-	outcome, failed := sh.applyBatch(batch, results)
+	outcome, pc, failed := sh.applyBatch(batch, results)
 	switch outcome {
 	case batchBeginErr, batchCommitErr:
 		nackAll(batch, failed)
-		return false
+		return sh.settle()
 	case batchFailed:
+		// The abort already awaited any in-flight FASE (atlas orders
+		// published commits before a rollback's persists); settle delivers
+		// its acks.
 		sh.aborts.Add(1)
 		nackAll(batch, failed)
-		return false
+		return sh.settle()
 	case batchCrashInjected:
 		// Injected power failure: if it hit mid-FASE the undo log is still
 		// active and Recover rolls the batch back in full; if it hit at the
 		// ack boundary the batch is durable but nacked, which the service
-		// contract permits (ErrCrashed promises nothing either way).
+		// contract permits (ErrCrashed promises nothing either way). An
+		// in-flight predecessor is unawaited — still active, rolled back —
+		// and was never acked.
 		sh.st.initiateCrash(sh)
+		sh.dropInFlight()
 		nackAll(batch, ErrCrashed)
 		return true
 	case batchCrashRace:
+		sh.dropInFlight()
 		nackAll(batch, ErrCrashed)
 		return true
 	}
 	post := sh.th.FlushStats()
+	if pc != nil {
+		// Overlapped commit: the batch is published and draining. Settle its
+		// predecessor (whose drain ran while this batch was applying), then
+		// leave this one in flight.
+		if sh.settle() {
+			nackAll(batch, ErrCrashed)
+			return true
+		}
+		sh.inFlight = &flightBatch{batch: batch, results: results, pc: pc,
+			root: sh.db.Snapshot(), gen: sh.db.Generation(), pre: pre, post: post}
+		return false
+	}
 	sh.publish()
 	sh.note(batch, pre, post)
 	for i := range batch {
@@ -234,24 +332,96 @@ func (sh *shard) commitBatch(batch []request) (crashed bool) {
 	return false
 }
 
-// applyBatch runs the whole FASE — Begin, the batch's mutations, the
-// crash hooks, and the durable commit. A panic claimed by
-// Options.IsInjectedCrash — a fault-injection site firing inside a store,
-// flush, or undo-log write — abandons the FASE with its undo log still
-// active, exactly as a power failure at that instruction would; panics it
-// does not claim propagate.
-func (sh *shard) applyBatch(batch []request, results []result) (outcome batchOutcome, err error) {
+// settle completes the in-flight batch: await its epoch's persistence
+// (which commits its undo log), fire the ack hook, install its root for
+// readers, and deliver the acks. It reports whether a crash — concurrent,
+// or injected at the ack site — requires the writer to exit.
+func (sh *shard) settle() (crashed bool) {
+	fb := sh.inFlight
+	if fb == nil {
+		return false
+	}
+	sh.inFlight = nil
+	if sh.crashedDuring(fb.pc.Await) {
+		// An injected crash at the undo-commit boundary inside the await:
+		// the epoch is persisted but the log is still active, so Recover
+		// rolls the batch back — never acked, consistent.
+		sh.st.initiateCrash(sh)
+		nackAll(fb.batch, ErrCrashed)
+		return true
+	}
+	if sh.st.crashing.Load() {
+		// The await may have been cut short by the crash's pipeline abort,
+		// leaving the batch's log active (Recover rolls it back). Either
+		// way its requesters were never acked, so ErrCrashed is honest.
+		nackAll(fb.batch, ErrCrashed)
+		return true
+	}
+	if hook := sh.st.opts.AckHook; hook != nil {
+		// The last crash boundary: the commit is durable but no requester
+		// has been told. A crash here must lose no data, only acks.
+		if sh.crashedDuring(func() { hook(sh.id) }) {
+			sh.st.initiateCrash(sh)
+			nackAll(fb.batch, ErrCrashed)
+			return true
+		}
+	}
+	sh.publishView(fb.root, fb.gen)
+	sh.note(fb.batch, fb.pre, fb.post)
+	for i := range fb.batch {
+		fb.batch[i].done <- fb.results[i]
+	}
+	return false
+}
+
+// crashedDuring runs fn, converting a panic claimed by
+// Options.IsInjectedCrash into a reported crash — the out-of-FASE mirror
+// of applyBatch's recover. settle crosses injection sites too: the
+// undo-commit boundary inside the await and the ack boundary after it.
+func (sh *shard) crashedDuring(fn func()) (crashed bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			claim := sh.st.opts.IsInjectedCrash
 			if claim == nil || !claim(r) {
 				panic(r)
 			}
-			outcome, err = batchCrashInjected, ErrCrashed
+			crashed = true
+		}
+	}()
+	fn()
+	return false
+}
+
+// dropInFlight nacks the in-flight batch without settling it: the crash
+// path. Its FASE was published but never awaited, so its undo log is still
+// active and Recover rolls the batch back — consistent with the nack.
+func (sh *shard) dropInFlight() {
+	if fb := sh.inFlight; fb != nil {
+		sh.inFlight = nil
+		nackAll(fb.batch, ErrCrashed)
+	}
+}
+
+// applyBatch runs the whole FASE — Begin, the batch's mutations, the crash
+// hooks, and the commit: a durable synchronous commit normally, or a
+// publish (mdb.CommitPublish, pc non-nil) under the overlapped protocol,
+// in which case the ack hook and the acks are deferred to settle. A panic
+// claimed by Options.IsInjectedCrash — a fault-injection site firing
+// inside a store, flush, or undo-log write — abandons the FASE with its
+// undo log still active, exactly as a power failure at that instruction
+// would; panics it does not claim propagate.
+func (sh *shard) applyBatch(batch []request, results []result) (outcome batchOutcome, pc *mdb.PendingCommit, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			claim := sh.st.opts.IsInjectedCrash
+			if claim == nil || !claim(r) {
+				panic(r)
+			}
+			outcome, pc, err = batchCrashInjected, nil, ErrCrashed
 		}
 	}()
 	if err := sh.db.Begin(); err != nil {
-		return batchBeginErr, err
+		return batchBeginErr, nil, err
 	}
 	var failed error
 	for i := range batch {
@@ -273,24 +443,31 @@ func (sh *shard) applyBatch(batch []request, results []result) (outcome batchOut
 		if aerr := sh.db.Abort(); aerr != nil {
 			failed = fmt.Errorf("%w (abort: %v)", failed, aerr)
 		}
-		return batchFailed, failed
+		return batchFailed, nil, failed
 	}
 	if hook := sh.st.opts.CrashBeforeCommit; hook != nil &&
 		hook(sh.id, int(sh.batches.Load()), len(batch)) {
-		return batchCrashInjected, ErrCrashed
+		return batchCrashInjected, nil, ErrCrashed
 	}
 	if sh.st.crashing.Load() {
 		// A concurrent crash caught us mid-FASE: abandon without
 		// committing, exactly as the power failure would.
-		return batchCrashRace, ErrCrashed
+		return batchCrashRace, nil, ErrCrashed
+	}
+	if sh.st.opts.Pipeline.Enabled {
+		pc, cerr := sh.db.CommitPublish()
+		if cerr != nil {
+			return batchCommitErr, nil, cerr
+		}
+		return batchCommitted, pc, nil
 	}
 	if err := sh.db.Commit(); err != nil {
-		return batchCommitErr, err
+		return batchCommitErr, nil, err
 	}
 	if hook := sh.st.opts.AckHook; hook != nil {
 		// The last crash boundary: the commit is durable but no requester
 		// has been told. A crash here must lose no data, only acks.
 		hook(sh.id)
 	}
-	return batchCommitted, nil
+	return batchCommitted, nil, nil
 }

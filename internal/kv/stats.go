@@ -30,6 +30,18 @@ type counters struct {
 	flushDrained  atomic.Int64
 	flushBarriers atomic.Int64
 
+	// Flush-pipeline snapshots (zero while the pipeline is disabled),
+	// published like the flush counters above. The snapshot is taken at the
+	// batch's publish, so gauges lag the live pipeline by at most one batch.
+	pipeBatches  atomic.Int64
+	pipeLines    atomic.Int64
+	pipeBatchMax atomic.Int64
+	pipeEpochs   atomic.Int64
+	pipeDepthMax atomic.Int64
+	pipeStalls   atomic.Int64
+	pipeStallNs  atomic.Int64
+	pipeAwaitNs  atomic.Int64
+
 	latMu   sync.Mutex
 	lats    []float64 // ring of recent commit latencies, simulated cycles
 	latNext int
@@ -53,6 +65,14 @@ func (sh *shard) note(batch []request, pre, post core.FlushStats) {
 	sh.flushAsync.Store(post.Async)
 	sh.flushDrained.Store(post.Drained)
 	sh.flushBarriers.Store(post.Barriers)
+	sh.pipeBatches.Store(post.PipeBatches)
+	sh.pipeLines.Store(post.PipeBatchLines)
+	sh.pipeBatchMax.Store(post.PipeBatchMax)
+	sh.pipeEpochs.Store(post.PipeEpochs)
+	sh.pipeDepthMax.Store(post.PipeDepthMax)
+	sh.pipeStalls.Store(post.PipeStalls)
+	sh.pipeStallNs.Store(post.PipeStallNanos)
+	sh.pipeAwaitNs.Store(post.PipeAwaitNanos)
 	sh.recordLatency(commitCycles(post.Drained - pre.Drained))
 }
 
@@ -97,6 +117,15 @@ type ShardStats struct {
 	// Commit drain latency percentiles over recent batches, in simulated
 	// cycles.
 	CommitP50, CommitP99 float64
+	// Flush-pipeline instrumentation (all zero when Options.Pipeline is
+	// disabled): worker batches handed to the inner sink and their total /
+	// largest line count, epochs published, the ring-depth high-water mark,
+	// backpressure stall events with their cumulative wall time, and the
+	// wall time the writer spent awaiting epoch persistence at settle.
+	PipeBatches, PipeBatchLines, PipeBatchMax int64
+	PipeEpochs, PipeDepthMax                  int64
+	PipeStalls, PipeStallNanos                int64
+	PipeAwaitNanos                            int64
 }
 
 // AvgBatch returns the mean committed batch size.
@@ -120,13 +149,22 @@ func (st ShardStats) FlushRatio() float64 {
 	return float64(st.Flushes()) / float64(st.BatchedOps)
 }
 
-// String renders one STATS line.
+// String renders one STATS line. Pipeline fields are appended only when
+// the flush pipeline produced any (the legacy line is unchanged otherwise).
 func (st ShardStats) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"shard=%d puts=%d dels=%d gets=%d batches=%d avg_batch=%.2f aborts=%d flushes=%d (async=%d drained=%d barriers=%d) flush_ratio=%.3f commit_p50=%.0fcyc commit_p99=%.0fcyc",
 		st.Shard, st.Puts, st.Deletes, st.Gets, st.Batches, st.AvgBatch(), st.Aborts,
 		st.Flushes(), st.AsyncFlushes, st.DrainedFlushes, st.Barriers,
 		st.FlushRatio(), st.CommitP50, st.CommitP99)
+	if st.PipeEpochs > 0 || st.PipeBatches > 0 {
+		s += fmt.Sprintf(
+			" pipe_batches=%d pipe_lines=%d pipe_batch_max=%d pipe_epochs=%d pipe_depth_max=%d pipe_stalls=%d pipe_stall_ms=%.3f pipe_await_ms=%.3f",
+			st.PipeBatches, st.PipeBatchLines, st.PipeBatchMax, st.PipeEpochs,
+			st.PipeDepthMax, st.PipeStalls,
+			float64(st.PipeStallNanos)/1e6, float64(st.PipeAwaitNanos)/1e6)
+	}
+	return s
 }
 
 func (sh *shard) stats() ShardStats {
@@ -141,6 +179,14 @@ func (sh *shard) stats() ShardStats {
 		AsyncFlushes:   sh.flushAsync.Load(),
 		DrainedFlushes: sh.flushDrained.Load(),
 		Barriers:       sh.flushBarriers.Load(),
+		PipeBatches:    sh.pipeBatches.Load(),
+		PipeBatchLines: sh.pipeLines.Load(),
+		PipeBatchMax:   sh.pipeBatchMax.Load(),
+		PipeEpochs:     sh.pipeEpochs.Load(),
+		PipeDepthMax:   sh.pipeDepthMax.Load(),
+		PipeStalls:     sh.pipeStalls.Load(),
+		PipeStallNanos: sh.pipeStallNs.Load(),
+		PipeAwaitNanos: sh.pipeAwaitNs.Load(),
 	}
 	sh.latMu.Lock()
 	lats := append([]float64(nil), sh.lats...)
@@ -201,6 +247,18 @@ func Totals(stats []ShardStats) ShardStats {
 		t.AsyncFlushes += st.AsyncFlushes
 		t.DrainedFlushes += st.DrainedFlushes
 		t.Barriers += st.Barriers
+		t.PipeBatches += st.PipeBatches
+		t.PipeBatchLines += st.PipeBatchLines
+		t.PipeEpochs += st.PipeEpochs
+		t.PipeStalls += st.PipeStalls
+		t.PipeStallNanos += st.PipeStallNanos
+		t.PipeAwaitNanos += st.PipeAwaitNanos
+		if st.PipeBatchMax > t.PipeBatchMax {
+			t.PipeBatchMax = st.PipeBatchMax
+		}
+		if st.PipeDepthMax > t.PipeDepthMax {
+			t.PipeDepthMax = st.PipeDepthMax
+		}
 		t.CommitP50 = math.Max(t.CommitP50, st.CommitP50)
 		t.CommitP99 = math.Max(t.CommitP99, st.CommitP99)
 	}

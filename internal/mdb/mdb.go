@@ -201,6 +201,63 @@ func (db *DB) Commit() error {
 	return nil
 }
 
+// PendingCommit is a transaction published but not yet durable: the root
+// and generation are installed and the FASE's epoch is in flight through
+// the flush pipeline. Await makes it durable (and only then releases the
+// superseded pages). Until Await returns, a crash rolls the transaction
+// back, so its effects must not be acknowledged externally.
+type PendingCommit struct {
+	db     *DB
+	ticket atlas.FASETicket
+	gen    uint64
+	freed  []uint64
+}
+
+// CommitPublish is the overlap-friendly half of Commit: it installs the new
+// root, bumps the generation and publishes the FASE without waiting for
+// persistence, so the caller can start the next transaction (whose stores
+// and undo logging overlap this one's background drain) before calling
+// Await. Without a pipelined runtime the publish degenerates to a
+// synchronous FASE end and Await is a cheap no-op, so callers may use the
+// split pair unconditionally.
+func (db *DB) CommitPublish() (*PendingCommit, error) {
+	if !db.inTxn {
+		return nil, fmt.Errorf("mdb: commit outside transaction")
+	}
+	db.t.Store64(db.meta+8, db.Generation()+1)
+	tk := db.t.FASEPublish()
+	pc := &PendingCommit{db: db, ticket: tk, gen: db.Generation()}
+	if db.recycle && len(db.freed) > 0 {
+		pc.freed = append([]uint64(nil), db.freed...)
+	}
+	db.inTxn = false
+	db.copied, db.fresh = nil, nil
+	db.freed = db.freed[:0]
+	return pc, nil
+}
+
+// Await blocks until the published transaction is durable, then recycles
+// (or hands to the free hook) the page versions it superseded. Must be
+// called from the store's single writer, before any later transaction's
+// Await.
+func (pc *PendingCommit) Await() {
+	db := pc.db
+	db.t.FASEAwait(pc.ticket)
+	if db.recycle && len(pc.freed) > 0 {
+		if db.freeHook != nil {
+			db.freeHook(pc.gen, pc.freed)
+		} else {
+			for _, p := range pc.freed {
+				db.pool.Free(p)
+			}
+		}
+	}
+	pc.freed = nil
+}
+
+// Generation returns pc's committed generation.
+func (pc *PendingCommit) Generation() uint64 { return pc.gen }
+
 // Abort rolls the current transaction back: the FASE's undo entries are
 // applied in reverse (restoring root, generation, and every touched page)
 // and the pages allocated by the transaction are returned to the pool. The

@@ -1,0 +1,100 @@
+package pmem
+
+import (
+	"testing"
+
+	"nvmcache/internal/trace"
+)
+
+func totalAcquired(h *Heap) int64 {
+	var n int64
+	for _, s := range h.StripeStats() {
+		n += s.Acquired
+	}
+	return n
+}
+
+// TestFlushLinesBatchedLocking pins the batched flush path's two contracts:
+// it persists exactly what per-line FlushLine calls would, and it takes each
+// involved stripe lock once per batch instead of once per line. Both
+// measurements carry the identical StripeStats snapshot bias, so the
+// comparison is exact.
+func TestFlushLinesBatchedLocking(t *testing.T) {
+	const lines = 128
+	mk := func() (*Heap, []trace.LineAddr) {
+		h := New(1 << 20)
+		base, err := h.AllocLines(lines * trace.LineSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := make([]trace.LineAddr, lines)
+		for i := range ls {
+			addr := base + uint64(i)*trace.LineSize
+			h.Store64(addr, uint64(i)+1)
+			ls[i] = trace.LineOf(addr)
+		}
+		return h, ls
+	}
+	h1, ls1 := mk()
+	before1 := totalAcquired(h1)
+	for _, l := range ls1 {
+		h1.FlushLine(l)
+	}
+	perLine := totalAcquired(h1) - before1
+
+	h2, ls2 := mk()
+	before2 := totalAcquired(h2)
+	h2.FlushLines(ls2)
+	batched := totalAcquired(h2) - before2
+
+	if batched >= perLine {
+		t.Fatalf("batched flush acquired %d stripe locks, per-line %d: batching saved nothing", batched, perLine)
+	}
+	for _, h := range []*Heap{h1, h2} {
+		if n := h.DirtyCount(); n != 0 {
+			t.Fatalf("%d dirty lines after flush", n)
+		}
+		if err := h.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, l := range ls2 {
+		if got := h2.PersistedUint64(l.ByteAddr()); got != uint64(i)+1 {
+			t.Fatalf("line %d persisted %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestApplyCapturedSnapshots covers the capture seam the pipeline worker
+// uses: ApplyBatch persists the snapshot taken at enqueue time, not the
+// volatile contents at apply time — and the write-cache protocol's promise
+// (a fresher capture follows any newer store) restores convergence.
+func TestApplyCapturedSnapshots(t *testing.T) {
+	h := New(1 << 20)
+	base, err := h.AllocLines(trace.LineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := trace.LineOf(base)
+	snap := make([]byte, trace.LineSize)
+
+	h.Store64(base, 111)
+	h.CaptureLine(line, snap)
+	h.Store64(base, 222) // newer store, not in the snapshot
+	h.ApplyCaptured([]trace.LineAddr{line}, snap)
+	if got := h.PersistedUint64(base); got != 111 {
+		t.Fatalf("persisted %d, want the captured snapshot 111", got)
+	}
+	// The fresher capture that the runtime guarantees will follow:
+	h.CaptureLine(line, snap)
+	h.ApplyCaptured([]trace.LineAddr{line}, snap)
+	if got := h.PersistedUint64(base); got != 222 {
+		t.Fatalf("persisted %d after fresh capture, want 222", got)
+	}
+	if n := h.DirtyCount(); n != 0 {
+		t.Fatalf("%d dirty lines after apply", n)
+	}
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

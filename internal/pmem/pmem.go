@@ -172,6 +172,83 @@ func (h *Heap) flushLine(line trace.LineAddr) {
 	st.mu.Unlock()
 }
 
+// FlushLines persists a batch of lines grouped by stripe: each involved
+// stripe lock is taken once per batch instead of once per line, which is
+// the pmem side of the batched flush-pipeline seam. Semantically identical
+// to calling flushLine on each element in order (later duplicates win —
+// they copy the same volatile contents anyway).
+func (h *Heap) FlushLines(lines []trace.LineAddr) {
+	for _, line := range lines {
+		h.check(line.ByteAddr(), trace.LineSize)
+	}
+	var done [NumStripes]bool
+	for i, line := range lines {
+		si := (uint64(line) * fibMix) >> stripeShift
+		if done[si] {
+			continue
+		}
+		done[si] = true
+		st := &h.stripes[si]
+		st.lock()
+		for _, l := range lines[i:] {
+			if (uint64(l)*fibMix)>>stripeShift != si {
+				continue
+			}
+			start := l.ByteAddr()
+			copy(h.persisted[start:start+trace.LineSize], h.mem[start:start+trace.LineSize])
+			delete(st.dirty, l)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// CaptureLine snapshots a line's current volatile contents into dst
+// (len ≥ trace.LineSize) with no locking: the caller must be the line's
+// single writer. The snapshot can later be persisted from any goroutine
+// with ApplyCaptured, which never touches the volatile plane.
+func (h *Heap) CaptureLine(line trace.LineAddr, dst []byte) {
+	start := line.ByteAddr()
+	h.check(start, trace.LineSize)
+	copy(dst[:trace.LineSize], h.mem[start:start+trace.LineSize])
+}
+
+// ApplyCaptured persists previously captured line images: data holds
+// len(lines) consecutive trace.LineSize-byte snapshots taken by
+// CaptureLine. Like FlushLines, each involved stripe lock is taken once per
+// batch; each line's dirty mark is cleared. Applying a stale snapshot is
+// safe under the runtime's write-cache protocol: any store newer than the
+// snapshot re-inserted the line into its thread's write cache, so a fresher
+// capture of the same line is guaranteed to follow before the owning FASE's
+// epoch persists.
+func (h *Heap) ApplyCaptured(lines []trace.LineAddr, data []byte) {
+	if len(data) < len(lines)*trace.LineSize {
+		panic(fmt.Sprintf("pmem: ApplyCaptured with %d lines but %d data bytes", len(lines), len(data)))
+	}
+	for _, line := range lines {
+		h.check(line.ByteAddr(), trace.LineSize)
+	}
+	var done [NumStripes]bool
+	for i, line := range lines {
+		si := (uint64(line) * fibMix) >> stripeShift
+		if done[si] {
+			continue
+		}
+		done[si] = true
+		st := &h.stripes[si]
+		st.lock()
+		for j := i; j < len(lines); j++ {
+			l := lines[j]
+			if (uint64(l)*fibMix)>>stripeShift != si {
+				continue
+			}
+			start := l.ByteAddr()
+			copy(h.persisted[start:start+trace.LineSize], data[j*trace.LineSize:(j+1)*trace.LineSize])
+			delete(st.dirty, l)
+		}
+		st.mu.Unlock()
+	}
+}
+
 // persistHeaderLocked writes line 0 through to the durable view. Caller
 // holds hdr.
 func (h *Heap) persistHeaderLocked() {
