@@ -4,7 +4,12 @@
 //
 //	nvbench -list
 //	nvbench -exp table1|figure2|table2|table3|figure4|figure5|figure6|table4|figure7|figure8|sizes|all
-//	        [-scale 0.00390625] [-threads N] [-seed 42]
+//	        [-scale 0.00390625] [-threads N] [-seed 42] [-out BENCH_x.json]
+//
+// -out additionally persists every rendered table as a benchfmt-enveloped
+// JSON artifact (schema, git commit, timestamp) for trajectory diffing;
+// -exp loadgen runs the open-loop latency sweep from internal/loadgen
+// against a self-hosted nvserver.
 //
 // -scale 1 regenerates paper-size traces (hundreds of millions of stores;
 // slow); the default 1/256 preserves every flush ratio and speedup shape.
@@ -16,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"nvmcache/internal/benchfmt"
 	"nvmcache/internal/harness"
 )
 
@@ -27,6 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	format := flag.String("format", "table", "output format: table or csv")
 	plot := flag.Bool("plot", false, "also render figures as ASCII charts")
+	out := flag.String("out", "", "also persist every table as a BENCH JSON artifact at this path")
 	flag.Parse()
 
 	if *list {
@@ -39,12 +46,20 @@ func main() {
 	opt.Threads = *threads
 	opt.Seed = *seed
 
-	if err := run(*exp, opt, *format, *plot); err != nil {
+	c := &runCtx{opt: opt, format: *format, plot: *plot}
+	if err := run(c, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "nvbench:", err)
 		if _, ok := lookup(*exp); !ok && *exp != "all" {
 			listExperiments(os.Stderr)
 		}
 		os.Exit(1)
+	}
+	if *out != "" {
+		if err := writeArtifact(*out, *exp, c.tables); err != nil {
+			fmt.Fprintln(os.Stderr, "nvbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
 }
 
@@ -55,15 +70,41 @@ type runCtx struct {
 	format string
 	plot   bool
 
-	par56 *harness.ParallelResult
+	par56  *harness.ParallelResult
+	tables []*harness.Table // everything shown, for -out
 }
 
 func (c *runCtx) show(t *harness.Table) {
+	c.tables = append(c.tables, t)
 	if c.format == "csv" {
 		fmt.Print(t.CSV())
 		return
 	}
 	fmt.Println(t.String())
+}
+
+// benchTables is the -out artifact: the benchfmt envelope plus every table
+// the invocation rendered, machine-readable for trajectory diffing.
+type benchTables struct {
+	benchfmt.Meta
+	Tables []tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+func writeArtifact(path, exp string, tables []*harness.Table) error {
+	art := benchTables{Meta: benchfmt.NewMeta("nvbench_" + exp)}
+	for _, t := range tables {
+		art.Tables = append(art.Tables, tableJSON{
+			Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes,
+		})
+	}
+	return benchfmt.WriteFile(path, art)
 }
 
 func (c *runCtx) parallel56() (*harness.ParallelResult, error) {
@@ -240,6 +281,25 @@ var experiments = []experiment{
 		c.show(r.Table())
 		return nil
 	}},
+	{"loadgen", "open-loop latency sweep: every distribution against a self-hosted nvserver", func(c *runCtx) error {
+		opt := harness.DefaultLoadgenOptions()
+		// -scale shrinks the per-distribution op budget (CI smoke runs pass
+		// a tiny scale); the arrival rate stays fixed so percentiles remain
+		// comparable across scales.
+		if s := c.opt.Scale * 256; s > 0 && s != 1 {
+			opt.Ops = int(float64(opt.Ops) * s)
+			if opt.Ops < 500 {
+				opt.Ops = 500
+			}
+		}
+		opt.Seed = c.opt.Seed
+		r, err := harness.LoadgenSweep(opt)
+		if err != nil {
+			return err
+		}
+		c.show(r.Table())
+		return nil
+	}},
 }
 
 func lookup(id string) (experiment, bool) {
@@ -259,8 +319,7 @@ func listExperiments(w io.Writer) {
 	fmt.Fprintf(w, "  %-8s  %s\n", "all", "every experiment above, in order")
 }
 
-func run(exp string, opt harness.RunOptions, format string, plot bool) error {
-	c := &runCtx{opt: opt, format: format, plot: plot}
+func run(c *runCtx, exp string) error {
 	if exp == "all" {
 		for _, e := range experiments {
 			if err := e.run(c); err != nil {

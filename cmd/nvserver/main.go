@@ -8,7 +8,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -18,6 +17,7 @@ import (
 	"nvmcache/internal/core"
 	"nvmcache/internal/kv"
 	"nvmcache/internal/pmem"
+	"nvmcache/internal/server"
 )
 
 func main() {
@@ -28,6 +28,7 @@ func main() {
 		delay      = flag.Duration("delay", 2*time.Millisecond, "max time a batch waits to fill")
 		pool       = flag.Int("pool-pages", 1<<13, "per-shard B+-tree page pool capacity")
 		policy     = flag.String("policy", "SC", "persistence policy: ER, LA, AT, SC, SC-offline, BEST")
+		duration   = flag.Duration("duration", 0, "serve for this long, then shut down gracefully (0 = until SIGINT/SIGTERM)")
 		pipeline   = flag.Bool("pipeline", false, "asynchronous batched flush pipeline: overlap each batch's drain with the next batch's stores")
 		pipeDepth  = flag.Int("pipeline-depth", 256, "pipeline ring capacity in pending line flushes (backpressure bound)")
 		pipeBatch  = flag.Int("pipeline-batch", 64, "max lines per pipeline worker batch")
@@ -61,7 +62,7 @@ func main() {
 		}
 		return
 	}
-	if err := serve(*addr, opts); err != nil {
+	if err := serve(*addr, opts, *duration); err != nil {
 		fmt.Fprintln(os.Stderr, "nvserver:", err)
 		os.Exit(1)
 	}
@@ -76,33 +77,38 @@ func parsePolicy(name string) (core.PolicyKind, error) {
 	return 0, fmt.Errorf("unknown policy %q (want ER, LA, AT, SC, SC-offline or BEST)", name)
 }
 
-// serve runs the server until SIGINT/SIGTERM, then shuts down gracefully:
-// in-flight batches drain, commit and ack before the store closes.
-func serve(addr string, opts kv.Options) error {
+// serve runs the server until SIGINT/SIGTERM — or, with -duration, a
+// deadline — then shuts down gracefully: accepting stops, connection
+// readers unblock, and every batch already in the shard queues is
+// committed, flushed and acked before the store closes, so a timed load
+// run always ends with a clean durable state.
+func serve(addr string, opts kv.Options, duration time.Duration) error {
 	h := pmem.New(int(kv.RecommendedHeapBytes(opts)))
 	st, err := kv.Open(h, opts)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	srv, err := server.Start(st, addr, server.Options{})
 	if err != nil {
 		return err
 	}
-	srv := newServer(st, ln)
 	fmt.Printf("nvserver: serving on %s (shards=%d batch<=%d delay<=%v policy=%v pipeline=%v heap=%dKiB)\n",
-		ln.Addr(), opts.Shards, opts.MaxBatch, opts.MaxDelay, opts.Policy,
+		srv.Addr(), opts.Shards, opts.MaxBatch, opts.MaxDelay, opts.Policy,
 		opts.Pipeline.Enabled, h.Size()/1024)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	done := make(chan error, 1)
-	go func() {
-		<-sig
-		fmt.Println("nvserver: shutting down (draining pending batches)")
-		done <- srv.shutdown()
-	}()
-	srv.serve()
-	err = <-done
+	var timeout <-chan time.Time
+	if duration > 0 {
+		timeout = time.After(duration)
+	}
+	select {
+	case <-sig:
+		fmt.Println("nvserver: signal: shutting down (draining pending batches)")
+	case <-timeout:
+		fmt.Printf("nvserver: -duration %v elapsed: shutting down (draining pending batches)\n", duration)
+	}
+	err = srv.Shutdown()
 	for _, s := range st.Stats() {
 		fmt.Println(s)
 	}

@@ -1,9 +1,7 @@
 package main
 
 import (
-	"bufio"
 	"fmt"
-	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,7 +9,9 @@ import (
 
 	"nvmcache/internal/faultinject"
 	"nvmcache/internal/kv"
+	"nvmcache/internal/nvclient"
 	"nvmcache/internal/pmem"
+	"nvmcache/internal/server"
 )
 
 // runSelfTest exercises the whole service contract end to end, over real
@@ -72,15 +72,15 @@ func runSelfTest(opts kv.Options, clients, ops int, seed uint64, exhaustive bool
 		wg.Add(1)
 		go func(c uint64) {
 			defer wg.Done()
-			cl, err := dialClient(srv.ln.Addr().String())
+			cl, err := nvclient.Dial(srv.Addr().String())
 			if err != nil {
 				return
 			}
-			defer cl.close()
+			defer cl.Close()
 			for i := uint64(0); i < uint64(ops); i++ {
 				k := c<<32 | i
 				v := mix(k, seed)
-				reply, err := cl.do(fmt.Sprintf("PUT %d %d", k, v))
+				reply, err := cl.Do(fmt.Sprintf("PUT %d %d", k, v))
 				if err != nil {
 					return // connection torn down: op outcome unknown, claim nothing
 				}
@@ -106,7 +106,7 @@ func runSelfTest(opts kv.Options, clients, ops int, seed uint64, exhaustive bool
 		return fmt.Errorf("crash never took effect")
 	}
 	armed.Store(false) // disarm: the recovered store must not crash again
-	srv.shutdown()     // network teardown; the crashed store itself reports ErrCrashed
+	srv.Shutdown()     // network teardown; the crashed store itself reports ErrCrashed
 	statsA := kv.Totals(st.Stats())
 	fmt.Printf("selftest: crashed with %d acked, %d crash-refused, %d committed batches (avg %.2f ops)\n",
 		len(acked), len(nacked), statsA.Batches, statsA.AvgBatch())
@@ -144,14 +144,14 @@ func runSelfTest(opts kv.Options, clients, ops int, seed uint64, exhaustive bool
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl, err := dialClient(srv2.ln.Addr().String())
+			cl, err := nvclient.Dial(srv2.Addr().String())
 			if err != nil {
 				lost <- err
 				return
 			}
-			defer cl.close()
+			defer cl.Close()
 			for p := range work {
-				reply, err := cl.do(fmt.Sprintf("GET %d", p.k))
+				reply, err := cl.Do(fmt.Sprintf("GET %d", p.k))
 				if err != nil {
 					lost <- err
 					return
@@ -169,12 +169,12 @@ func runSelfTest(opts kv.Options, clients, ops int, seed uint64, exhaustive bool
 		return err
 	default:
 	}
-	cl, err := dialClient(srv2.ln.Addr().String())
+	cl, err := nvclient.Dial(srv2.Addr().String())
 	if err != nil {
 		return err
 	}
 	for k := range nacked {
-		reply, err := cl.do(fmt.Sprintf("GET %d", k))
+		reply, err := cl.Do(fmt.Sprintf("GET %d", k))
 		if err != nil {
 			return err
 		}
@@ -202,7 +202,7 @@ func runSelfTest(opts kv.Options, clients, ops int, seed uint64, exhaustive bool
 	}
 	for i := uint64(0); i < 512; i++ {
 		k := uint64(1)<<48 | i // disjoint from client keys
-		if _, err := cl.do(fmt.Sprintf("PUT %d %d", k, i)); err != nil {
+		if _, err := cl.Do(fmt.Sprintf("PUT %d %d", k, i)); err != nil {
 			return err
 		}
 	}
@@ -216,8 +216,8 @@ func runSelfTest(opts kv.Options, clients, ops int, seed uint64, exhaustive bool
 	for _, sn := range snaps {
 		sn.Release()
 	}
-	cl.close()
-	if err := srv2.shutdown(); err != nil {
+	cl.Close()
+	if err := srv2.Shutdown(); err != nil {
 		return fmt.Errorf("graceful shutdown after recovery: %w", err)
 	}
 	fmt.Printf("selftest: snapshots stayed consistent under %d concurrent commits\n", 512)
@@ -240,15 +240,15 @@ func runSelfTest(opts kv.Options, clients, ops int, seed uint64, exhaustive bool
 		wg.Add(1)
 		go func(c uint64) {
 			defer wg.Done()
-			cl, err := dialClient(srvB.ln.Addr().String())
+			cl, err := nvclient.Dial(srvB.Addr().String())
 			if err != nil {
 				errs <- err
 				return
 			}
-			defer cl.close()
+			defer cl.Close()
 			for i := uint64(0); i < uint64(ops); i++ {
 				k := c<<32 | i
-				if reply, err := cl.do(fmt.Sprintf("PUT %d %d", k, mix(k, seed))); err != nil || reply != "OK" {
+				if reply, err := cl.Do(fmt.Sprintf("PUT %d %d", k, mix(k, seed))); err != nil || reply != "OK" {
 					errs <- fmt.Errorf("baseline PUT %d: %q, %v", k, reply, err)
 					return
 				}
@@ -256,7 +256,7 @@ func runSelfTest(opts kv.Options, clients, ops int, seed uint64, exhaustive bool
 		}(uint64(c))
 	}
 	wg.Wait()
-	if err := srvB.shutdown(); err != nil {
+	if err := srvB.Shutdown(); err != nil {
 		return err
 	}
 	select {
@@ -321,59 +321,6 @@ func mix(k, seed uint64) uint64 {
 }
 
 // listen starts a server for st on an ephemeral loopback port.
-func listen(st *kv.Store) (*server, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	srv := newServer(st, ln)
-	go srv.serve()
-	return srv, nil
+func listen(st *kv.Store) (*server.Server, error) {
+	return server.Start(st, "127.0.0.1:0", server.Options{})
 }
-
-// client is a blocking line-protocol client.
-type client struct {
-	c net.Conn
-	r *bufio.Reader
-}
-
-func dialClient(addr string) (*client, error) {
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &client{c: c, r: bufio.NewReader(c)}, nil
-}
-
-// do sends one request line and reads the one-line reply.
-func (cl *client) do(cmd string) (string, error) {
-	if _, err := fmt.Fprintln(cl.c, cmd); err != nil {
-		return "", err
-	}
-	line, err := cl.r.ReadString('\n')
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimSpace(line), nil
-}
-
-// doMulti sends one request and reads reply lines until the terminator.
-func (cl *client) doMulti(cmd, end string) ([]string, error) {
-	if _, err := fmt.Fprintln(cl.c, cmd); err != nil {
-		return nil, err
-	}
-	var out []string
-	for {
-		line, err := cl.r.ReadString('\n')
-		if err != nil {
-			return nil, err
-		}
-		line = strings.TrimSpace(line)
-		if line == end {
-			return out, nil
-		}
-		out = append(out, line)
-	}
-}
-
-func (cl *client) close() { cl.c.Close() }

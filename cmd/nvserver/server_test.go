@@ -1,91 +1,15 @@
 package main
 
 import (
-	"strings"
 	"testing"
 	"time"
 
 	"nvmcache/internal/kv"
-	"nvmcache/internal/pmem"
 )
 
-func TestProtocolEndToEnd(t *testing.T) {
-	opts := kv.DefaultOptions()
-	opts.Shards = 2
-	opts.MaxDelay = time.Millisecond
-	h := pmem.New(int(kv.RecommendedHeapBytes(opts)))
-	st, err := kv.Open(h, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv, err := listen(st)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cl, err := dialClient(srv.ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	step := func(cmd, want string) {
-		t.Helper()
-		got, err := cl.do(cmd)
-		if err != nil {
-			t.Fatalf("%s: %v", cmd, err)
-		}
-		if got != want {
-			t.Fatalf("%s: got %q, want %q", cmd, got, want)
-		}
-	}
-	step("PUT 1 100", "OK")
-	step("GET 1", "VAL 100")
-	step("GET 2", "NIL")
-	step("PUT 18446744073709551615 7", "OK") // max uint64 key
-	step("GET 18446744073709551615", "VAL 7")
-	step("DEL 1", "OK")
-	step("DEL 1", "NIL")
-	step("GET 1", "NIL")
-
-	if got, _ := cl.do("PUT 1"); !strings.HasPrefix(got, "ERR usage: PUT") {
-		t.Fatalf("arity error: %q", got)
-	}
-	if got, _ := cl.do("PUT x y"); !strings.HasPrefix(got, "ERR usage: PUT") {
-		t.Fatalf("parse error: %q", got)
-	}
-	if got, _ := cl.do("FROB 1"); !strings.HasPrefix(got, "ERR unknown command") {
-		t.Fatalf("unknown command: %q", got)
-	}
-
-	lines, err := cl.doMulti("STATS", "END")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(lines) != opts.Shards+2 {
-		t.Fatalf("STATS: %d lines, want %d shard lines + total + stripes", len(lines), opts.Shards+2)
-	}
-	for i := 0; i < opts.Shards; i++ {
-		if !strings.HasPrefix(lines[i], "shard=") || !strings.Contains(lines[i], "flush_ratio=") {
-			t.Fatalf("STATS shard line %q", lines[i])
-		}
-	}
-	if !strings.HasPrefix(lines[opts.Shards], "total ops=4") { // 2 puts + 2 dels committed
-		t.Fatalf("STATS total line %q", lines[opts.Shards])
-	}
-	if !strings.HasPrefix(lines[opts.Shards+1], "stripes=") || !strings.Contains(lines[opts.Shards+1], "contention=") {
-		t.Fatalf("STATS stripes line %q", lines[opts.Shards+1])
-	}
-
-	step("QUIT", "BYE")
-	if _, err := cl.do("GET 2"); err == nil {
-		t.Fatal("connection survived QUIT")
-	}
-	if err := srv.shutdown(); err != nil {
-		t.Fatal(err)
-	}
-	// The drained store still serves direct reads.
-	if v, ok, err := st.Get(18446744073709551615); err != nil || !ok || v != 7 {
-		t.Fatalf("Get after shutdown = %d,%v,%v", v, ok, err)
-	}
-}
+// The protocol end-to-end tests live in internal/server (the server moved
+// there so internal/loadgen can self-host it); what stays here is the
+// self-test entry point the -selftest flag runs.
 
 // TestSelfTestSmoke runs the full crash/recovery self-test at a small scale.
 func TestSelfTestSmoke(t *testing.T) {

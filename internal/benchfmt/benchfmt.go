@@ -1,0 +1,106 @@
+// Package benchfmt defines the envelope every persisted benchmark
+// artifact (`BENCH_<experiment>.json`) shares: a schema tag, the
+// experiment id, the wall-clock time, and git metadata, so the perf
+// trajectory of the repository is machine-diffable across PRs — compare
+// two artifacts from two commits and the envelope tells you exactly which
+// code produced which numbers. internal/loadgen embeds Meta in its result
+// schema and cmd/nvbench wraps any experiment's tables with it (-out).
+//
+// It is a leaf package (stdlib only) so both the load generator and the
+// experiment harness can use it without import cycles.
+package benchfmt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// Schema tags every artifact this repository emits; bump the suffix on
+// breaking changes so trajectory tooling can refuse to diff across them.
+const Schema = "nvmcache-bench/v1"
+
+// GitInfo pins an artifact to the code that produced it.
+type GitInfo struct {
+	// Commit is the full HEAD hash, or "unknown" outside a git checkout.
+	Commit string `json:"commit"`
+	// Dirty reports uncommitted changes at run time — a dirty artifact is
+	// not attributable to its commit.
+	Dirty bool `json:"dirty"`
+}
+
+// Meta is the artifact envelope. Embed it (inline) in result schemas.
+type Meta struct {
+	Schema     string  `json:"schema"`
+	Experiment string  `json:"experiment"`
+	UnixTime   int64   `json:"unix_time"`
+	Git        GitInfo `json:"git"`
+}
+
+// NewMeta stamps an envelope for experiment now, capturing git state from
+// the current directory (degrading to "unknown" outside a checkout).
+func NewMeta(experiment string) Meta {
+	return Meta{
+		Schema:     Schema,
+		Experiment: experiment,
+		UnixTime:   time.Now().Unix(),
+		Git:        CaptureGit(""),
+	}
+}
+
+// CaptureGit reads HEAD and the dirty bit from the repository containing
+// dir ("" = current directory). It never fails: without git or a checkout
+// the commit is "unknown".
+func CaptureGit(dir string) GitInfo {
+	g := GitInfo{Commit: "unknown"}
+	rev := exec.Command("git", "rev-parse", "HEAD")
+	rev.Dir = dir
+	if out, err := rev.Output(); err == nil {
+		g.Commit = strings.TrimSpace(string(out))
+	}
+	st := exec.Command("git", "status", "--porcelain")
+	st.Dir = dir
+	if out, err := st.Output(); err == nil {
+		g.Dirty = len(strings.TrimSpace(string(out))) > 0
+	}
+	return g
+}
+
+// Validate checks the envelope fields every artifact must carry.
+func (m Meta) Validate() error {
+	if m.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", m.Schema, Schema)
+	}
+	if m.Experiment == "" {
+		return errors.New("benchfmt: empty experiment id")
+	}
+	if m.UnixTime <= 0 {
+		return errors.New("benchfmt: missing unix_time")
+	}
+	if m.Git.Commit == "" {
+		return errors.New("benchfmt: empty git.commit (use \"unknown\")")
+	}
+	return nil
+}
+
+// WriteFile marshals v (indented, trailing newline) to path.
+func WriteFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile unmarshals path into v.
+func ReadFile(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"nvmcache/internal/kv"
+	"nvmcache/internal/loadgen"
+	"nvmcache/internal/server"
+)
+
+// LoadgenResult is one self-hosted open-loop sweep: the same arrival rate
+// driven through each distribution against a fresh in-process nvserver,
+// with the coordinated-omission-aware latency percentiles per run.
+type LoadgenResult struct {
+	Rate    float64
+	Conns   int
+	Reports []*loadgen.Report
+}
+
+// LoadgenOptions configure the sweep.
+type LoadgenOptions struct {
+	Rate    float64
+	Conns   int
+	Ops     int    // per distribution
+	Shards  int    // self-hosted server shards
+	Preload uint64 // keys PUT before each measured run
+	Seed    int64
+}
+
+// DefaultLoadgenOptions keeps the sweep in smoke-test territory: ~2s of
+// driving per distribution.
+func DefaultLoadgenOptions() LoadgenOptions {
+	return LoadgenOptions{Rate: 2000, Conns: 4, Ops: 8000, Shards: 8, Preload: 2048, Seed: 42}
+}
+
+// LoadgenSweep boots one self-hosted nvserver per distribution (so each
+// run's STATS delta and key population are its own) and drives the
+// open-loop schedule through it.
+func LoadgenSweep(opt LoadgenOptions) (*LoadgenResult, error) {
+	dists := append(append([]string{}, loadgen.DistNames...), "zipf@1,uniform@1")
+	res := &LoadgenResult{Rate: opt.Rate, Conns: opt.Conns}
+	for _, name := range dists {
+		kvOpts := kv.DefaultOptions()
+		if opt.Shards > 0 {
+			kvOpts.Shards = opt.Shards
+		}
+		srv, err := server.SelfHost(kvOpts, server.Options{})
+		if err != nil {
+			return nil, err
+		}
+		base := loadgen.DefaultSpec()
+		spec, err := loadgen.ParseDist(name, base)
+		if err != nil {
+			srv.Shutdown()
+			return nil, err
+		}
+		rep, err := loadgen.Run(loadgen.Config{
+			Addr:    srv.Addr().String(),
+			Rate:    opt.Rate,
+			Conns:   opt.Conns,
+			Ops:     opt.Ops,
+			Dist:    spec,
+			Seed:    opt.Seed,
+			Preload: opt.Preload,
+		})
+		srv.Shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen %s: %w", name, err)
+		}
+		res.Reports = append(res.Reports, rep)
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *LoadgenResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("open-loop load sweep: %.0f ops/s over %d conns, self-hosted nvserver", r.Rate, r.Conns),
+		Headers: []string{"dist", "sent", "done", "err", "ops/s", "p50", "p99", "p999", "max"},
+		Notes: []string{
+			"latency measured from intended send time (coordinated-omission aware)",
+		},
+	}
+	us := func(d time.Duration) string { return fmt.Sprintf("%.0fus", float64(d)/1e3) }
+	for _, rep := range r.Reports {
+		t.AddRow(rep.Config.Dist.Name(),
+			fmt.Sprintf("%d", rep.Sent),
+			fmt.Sprintf("%d", rep.Completed),
+			fmt.Sprintf("%d", rep.Errors+rep.Timeouts),
+			fmt.Sprintf("%.0f", rep.Throughput()),
+			us(rep.Hist.Quantile(0.50)),
+			us(rep.Hist.Quantile(0.99)),
+			us(rep.Hist.Quantile(0.999)),
+			us(rep.Hist.Max()))
+	}
+	return t
+}

@@ -21,6 +21,7 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -370,6 +371,43 @@ func (s *Store) Get(k uint64) (uint64, bool, error) {
 	sh.release(gen)
 	sh.gets.Add(1)
 	return v, ok, nil
+}
+
+// Pair is one key/value returned by Scan.
+type Pair struct{ K, V uint64 }
+
+// Scan returns up to n pairs with keys ≥ start in ascending key order.
+// Keys are hash-routed across shards, so each shard's B+-tree holds an
+// arbitrary key subset: Scan walks every shard's last committed snapshot
+// from start (up to n pairs each) and merges, giving a globally ordered
+// range read. The per-shard snapshots are lock-free but acquired one
+// after another, so the merged view is per-shard — not cross-shard —
+// consistent. Like Get it never enters the writer queue.
+func (s *Store) Scan(start uint64, n int) ([]Pair, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.state == stateCrashed {
+		return nil, ErrCrashed
+	}
+	all := make([]Pair, 0, n)
+	for _, sh := range s.shards {
+		root, gen := sh.acquire()
+		taken := 0
+		for c := sh.db.Seek(root, start); c.Valid() && taken < n; c.Next() {
+			all = append(all, Pair{c.Key(), c.Value()})
+			taken++
+		}
+		sh.release(gen)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].K < all[j].K })
+	if len(all) > n {
+		all = all[:n]
+	}
+	s.shards[ShardIndex(start, len(s.shards))].scans.Add(1)
+	return all, nil
 }
 
 // Snapshot pins shard's current committed root: Get against the snapshot

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -23,6 +24,7 @@ const latRingCap = 4096
 type counters struct {
 	puts, dels    atomic.Uint64
 	gets          atomic.Uint64
+	scans         atomic.Uint64
 	batches       atomic.Uint64
 	batchedOps    atomic.Uint64
 	aborts        atomic.Uint64
@@ -104,8 +106,8 @@ func commitCycles(drained int64) float64 {
 // ShardStats is one shard's instrumentation snapshot.
 type ShardStats struct {
 	Shard int
-	// Operation counts (committed mutations and served reads).
-	Puts, Deletes, Gets uint64
+	// Operation counts (committed mutations and served reads/scans).
+	Puts, Deletes, Gets, Scans uint64
 	// Group-commit shape.
 	Batches, BatchedOps uint64
 	// Aborted batches (shed load, e.g. pool exhaustion).
@@ -149,22 +151,50 @@ func (st ShardStats) FlushRatio() float64 {
 	return float64(st.Flushes()) / float64(st.BatchedOps)
 }
 
-// String renders one STATS line. Pipeline fields are appended only when
-// the flush pipeline produced any (the legacy line is unchanged otherwise).
-func (st ShardStats) String() string {
-	s := fmt.Sprintf(
-		"shard=%d puts=%d dels=%d gets=%d batches=%d avg_batch=%.2f aborts=%d flushes=%d (async=%d drained=%d barriers=%d) flush_ratio=%.3f commit_p50=%.0fcyc commit_p99=%.0fcyc",
-		st.Shard, st.Puts, st.Deletes, st.Gets, st.Batches, st.AvgBatch(), st.Aborts,
-		st.Flushes(), st.AsyncFlushes, st.DrainedFlushes, st.Barriers,
-		st.FlushRatio(), st.CommitP50, st.CommitP99)
-	if st.PipeEpochs > 0 || st.PipeBatches > 0 {
-		s += fmt.Sprintf(
-			" pipe_batches=%d pipe_lines=%d pipe_batch_max=%d pipe_epochs=%d pipe_depth_max=%d pipe_stalls=%d pipe_stall_ms=%.3f pipe_await_ms=%.3f",
-			st.PipeBatches, st.PipeBatchLines, st.PipeBatchMax, st.PipeEpochs,
-			st.PipeDepthMax, st.PipeStalls,
-			float64(st.PipeStallNanos)/1e6, float64(st.PipeAwaitNanos)/1e6)
+// Pairs returns every field as a `key=value` token with the keys in
+// sorted order. The key set is fixed (pipeline gauges are present even when
+// the pipeline is off), so STATS output is a stable, machine-diffable
+// schema: internal/nvclient parses these tokens and internal/loadgen diffs
+// two snapshots to report per-run server-side deltas in BENCH_*.json.
+// Values are plain decimals; units live in the key name (_cyc, _ms).
+func (st ShardStats) Pairs() []string {
+	pairs := []string{
+		fmt.Sprintf("aborts=%d", st.Aborts),
+		fmt.Sprintf("avg_batch=%.2f", st.AvgBatch()),
+		fmt.Sprintf("batches=%d", st.Batches),
+		fmt.Sprintf("commit_p50_cyc=%.0f", st.CommitP50),
+		fmt.Sprintf("commit_p99_cyc=%.0f", st.CommitP99),
+		fmt.Sprintf("dels=%d", st.Deletes),
+		fmt.Sprintf("flush_async=%d", st.AsyncFlushes),
+		fmt.Sprintf("flush_barriers=%d", st.Barriers),
+		fmt.Sprintf("flush_drained=%d", st.DrainedFlushes),
+		fmt.Sprintf("flush_ratio=%.3f", st.FlushRatio()),
+		fmt.Sprintf("flushes=%d", st.Flushes()),
+		fmt.Sprintf("gets=%d", st.Gets),
+		fmt.Sprintf("ops=%d", st.BatchedOps),
+		fmt.Sprintf("pipe_await_ms=%.3f", float64(st.PipeAwaitNanos)/1e6),
+		fmt.Sprintf("pipe_batch_max=%d", st.PipeBatchMax),
+		fmt.Sprintf("pipe_batches=%d", st.PipeBatches),
+		fmt.Sprintf("pipe_depth_max=%d", st.PipeDepthMax),
+		fmt.Sprintf("pipe_epochs=%d", st.PipeEpochs),
+		fmt.Sprintf("pipe_lines=%d", st.PipeBatchLines),
+		fmt.Sprintf("pipe_stall_ms=%.3f", float64(st.PipeStallNanos)/1e6),
+		fmt.Sprintf("pipe_stalls=%d", st.PipeStalls),
+		fmt.Sprintf("puts=%d", st.Puts),
+		fmt.Sprintf("scans=%d", st.Scans),
 	}
-	return s
+	sort.Strings(pairs) // belt and braces: keys above are already sorted
+	return pairs
+}
+
+// String renders one STATS line: the row identifier (shard=N, or `total`
+// for the aggregate) followed by the sorted Pairs.
+func (st ShardStats) String() string {
+	id := fmt.Sprintf("shard=%d", st.Shard)
+	if st.Shard < 0 {
+		id = "total"
+	}
+	return id + " " + strings.Join(st.Pairs(), " ")
 }
 
 func (sh *shard) stats() ShardStats {
@@ -173,6 +203,7 @@ func (sh *shard) stats() ShardStats {
 		Puts:           sh.puts.Load(),
 		Deletes:        sh.dels.Load(),
 		Gets:           sh.gets.Load(),
+		Scans:          sh.scans.Load(),
 		Batches:        sh.batches.Load(),
 		BatchedOps:     sh.batchedOps.Load(),
 		Aborts:         sh.aborts.Load(),
@@ -241,6 +272,7 @@ func Totals(stats []ShardStats) ShardStats {
 		t.Puts += st.Puts
 		t.Deletes += st.Deletes
 		t.Gets += st.Gets
+		t.Scans += st.Scans
 		t.Batches += st.Batches
 		t.BatchedOps += st.BatchedOps
 		t.Aborts += st.Aborts

@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpLine(t *testing.T) {
+	cases := map[string]Op{
+		"GET 7":                    {Kind: OpGet, Key: 7},
+		"PUT 7 9":                  {Kind: OpPut, Key: 7, Val: 9},
+		"DEL 7":                    {Kind: OpDel, Key: 7},
+		"SCAN 7 16":                {Kind: OpScan, Key: 7, N: 16},
+		"GET 18446744073709551615": {Kind: OpGet, Key: ^uint64(0)},
+	}
+	for want, op := range cases {
+		if got := op.Line(); got != want {
+			t.Errorf("Line(%+v) = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestParseDistKinds(t *testing.T) {
+	base := DefaultSpec()
+	for _, kind := range DistNames {
+		s, err := ParseDist(kind, base)
+		if err != nil {
+			t.Fatalf("ParseDist(%q): %v", kind, err)
+		}
+		if s.Kind != kind || len(s.Phases) != 0 {
+			t.Fatalf("ParseDist(%q) = %+v", kind, s)
+		}
+		if _, err := s.Generator(0, 100, 1); err != nil {
+			t.Fatalf("Generator(%q): %v", kind, err)
+		}
+	}
+	if _, err := ParseDist("pareto", base); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestParseDistPhases(t *testing.T) {
+	s, err := ParseDist("zipf@3,uniform@1", DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "phased" || len(s.Phases) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Phases[0].Frac != 0.75 || s.Phases[1].Frac != 0.25 {
+		t.Fatalf("fractions not normalized: %+v", s.Phases)
+	}
+	if !strings.Contains(s.Name(), "zipf") || !strings.Contains(s.Name(), "uniform") {
+		t.Fatalf("Name() = %q", s.Name())
+	}
+	if _, err := ParseDist("zipf@-1,uniform@2", DefaultSpec()); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+}
+
+// TestGeneratorsDeterministic: the same (spec, conn, seed) triple yields
+// the same stream — reproducibility is what makes a BENCH artifact's
+// config section sufficient to re-run the workload.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, kind := range DistNames {
+		spec, _ := ParseDist(kind, DefaultSpec())
+		a, _ := spec.Generator(3, 1000, 99)
+		b, _ := spec.Generator(3, 1000, 99)
+		for i := 0; i < 1000; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%s: streams diverge at op %d", kind, i)
+			}
+		}
+		c, _ := spec.Generator(4, 1000, 99)
+		same := true
+		a2, _ := spec.Generator(3, 1000, 99)
+		for i := 0; i < 100; i++ {
+			if a2.Next() != c.Next() {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: conns 3 and 4 generated identical streams", kind)
+		}
+	}
+}
+
+// TestZipfSkew: the hot key must take a large share of zipf traffic and a
+// tiny share of uniform traffic over the same keyspace size.
+func TestZipfSkew(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Kind = "zipf"
+	spec.ReadFrac = 1.0
+	g, _ := spec.Generator(0, 0, 5)
+	counts := map[uint64]int{}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	if frac := float64(top) / n; frac < 0.05 {
+		t.Fatalf("hottest key got %.4f of zipf traffic, want ≥0.05", frac)
+	}
+	if len(counts) < 100 {
+		t.Fatalf("zipf only touched %d distinct keys", len(counts))
+	}
+}
+
+// TestChurnTurnover: churn must generate each key's PUT before its DEL,
+// keep the live set near the window size, and eventually delete keys it
+// inserted.
+func TestChurnTurnover(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Kind = "churn"
+	spec.Keys = 64 // window
+	spec.ReadFrac = 0.25
+	g, _ := spec.Generator(2, 0, 7)
+	live := map[uint64]bool{}
+	dels := 0
+	for i := 0; i < 10_000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpPut:
+			if live[op.Key] {
+				t.Fatalf("op %d: PUT of live key %d", i, op.Key)
+			}
+			live[op.Key] = true
+		case OpDel:
+			if !live[op.Key] {
+				t.Fatalf("op %d: DEL of dead key %d", i, op.Key)
+			}
+			delete(live, op.Key)
+			dels++
+		case OpGet:
+			if !live[op.Key] {
+				t.Fatalf("op %d: GET outside live window, key %d", i, op.Key)
+			}
+		}
+		if uint64(len(live)) > spec.Keys+1 {
+			t.Fatalf("op %d: live set %d exceeds window %d", i, len(live), spec.Keys)
+		}
+	}
+	if dels < 1000 {
+		t.Fatalf("only %d deletes in 10k churn ops", dels)
+	}
+}
+
+// TestPhasedSwitchesMidRun: a two-phase schedule must emit phase-0 ops
+// first, then switch — observable because scan and churn emit different
+// op kinds.
+func TestPhasedSwitchesMidRun(t *testing.T) {
+	base := DefaultSpec()
+	base.Keys = 100 // small churn window so deletes start within the phase
+	spec, err := ParseDist("scan@1,churn@1", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const planned = 2000
+	g, err := spec.Generator(0, planned, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := g.(*phasedGen)
+	sawScan, sawChurnDel := false, false
+	for i := 0; i < planned; i++ {
+		op := g.Next()
+		phase := pg.Phase()
+		if i < planned/2 && phase != 0 {
+			t.Fatalf("op %d in phase %d, want 0", i, phase)
+		}
+		if i >= planned/2 && phase != 1 {
+			t.Fatalf("op %d in phase %d, want 1", i, phase)
+		}
+		if op.Kind == OpScan {
+			if phase != 0 {
+				t.Fatalf("SCAN emitted in churn phase at op %d", i)
+			}
+			sawScan = true
+		}
+		if op.Kind == OpDel {
+			sawChurnDel = true
+		}
+	}
+	if !sawScan || !sawChurnDel {
+		t.Fatalf("phases not exercised: scan=%v churnDel=%v", sawScan, sawChurnDel)
+	}
+}

@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: values (latency
+// in nanoseconds) land in buckets whose width grows with magnitude — each
+// power-of-two range ("octave") is split into 2^histSubBits equal
+// sub-buckets, so the worst-case relative quantization error is
+// 2^-histSubBits (≈3.1%) at every scale from nanoseconds to minutes, with
+// a fixed-size count array and O(1) recording. This is the standard shape
+// for coordinated-omission-aware load generators (HdrHistogram, wrk2):
+// recording is constant-time even while the driver is catching up a
+// backlog, and histograms from independent connections merge by addition.
+//
+// A Histogram is not safe for concurrent use; give each connection its own
+// and Merge them when the run ends.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+	min    int64
+	max    int64
+	sum    float64
+}
+
+const (
+	// histSubBits sets resolution: 32 sub-buckets per octave.
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histBuckets covers every non-negative int64: values below histSub
+	// get exact unit buckets, then 32 sub-buckets per octave up to 2^63.
+	histBuckets = (64 - histSubBits) * histSub
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	e := 63 - bits.LeadingZeros64(uint64(v)) // position of the MSB, ≥ histSubBits
+	shift := uint(e - histSubBits)
+	return (e-histSubBits+1)<<histSubBits + int((uint64(v)>>shift)&(histSub-1))
+}
+
+// bucketBounds returns a bucket's inclusive value range.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < histSub {
+		return int64(i), int64(i)
+	}
+	block := i >> histSubBits // e - histSubBits + 1
+	off := int64(i & (histSub - 1))
+	e := uint(block + histSubBits - 1)
+	shift := e - histSubBits
+	lo = int64(1)<<e + off<<shift
+	return lo, lo + int64(1)<<shift - 1
+}
+
+// Record adds one latency observation. Negative durations (clock
+// anomalies) clamp to zero rather than corrupting the distribution.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += float64(v)
+}
+
+// Merge adds another histogram's counts into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
+
+// Mean returns the arithmetic mean (exact, tracked outside the buckets).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) by nearest rank: the upper
+// bound of the bucket holding the rank-⌈q·n⌉ observation, clamped to the
+// recorded maximum so an almost-empty top bucket cannot over-report.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			_, hi := bucketBounds(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return time.Duration(hi)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// HistBucket is one non-empty bucket, for the BENCH_*.json artifact.
+type HistBucket struct {
+	LoNanos int64 `json:"lo_ns"`
+	HiNanos int64 `json:"hi_ns"`
+	Count   int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, HistBucket{LoNanos: lo, HiNanos: hi, Count: c})
+	}
+	return out
+}
+
+// FromBuckets rebuilds a histogram from a persisted bucket list (the
+// inverse of Buckets, up to quantization: each bucket's count lands at its
+// lower bound). Round-tripped quantiles stay within one bucket width.
+func FromBuckets(bs []HistBucket) *Histogram {
+	h := &Histogram{}
+	for _, b := range bs {
+		i := bucketIndex(b.LoNanos)
+		h.counts[i] += b.Count
+		if h.total == 0 || b.LoNanos < h.min {
+			h.min = b.LoNanos
+		}
+		if b.HiNanos > h.max {
+			h.max = b.HiNanos
+		}
+		h.total += b.Count
+		h.sum += float64(b.LoNanos) * float64(b.Count)
+	}
+	return h
+}

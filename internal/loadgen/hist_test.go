@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// maxRelErr is the histogram's quantization bound: one part in 2^histSubBits,
+// plus a little slack for the bucket-upper-bound convention.
+const maxRelErr = 2.0 / histSub
+
+func relClose(got, want time.Duration) bool {
+	if want == 0 {
+		return got == 0
+	}
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d <= maxRelErr*float64(want)+1
+}
+
+// TestBucketIndexBounds checks the index/bounds pair is a consistent
+// partition: every value lands in a bucket whose range contains it, and
+// bucket ranges tile without gaps or overlaps.
+func TestBucketIndexBounds(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20,
+		(1 << 20) + 12345, 1 << 40, 1<<62 + 999}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Int63())
+	}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d in bucket %d with bounds [%d,%d]", v, i, lo, hi)
+		}
+	}
+	prevHi := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, previous ended at %d", i, lo, prevHi)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d inverted [%d,%d]", i, lo, hi)
+		}
+		prevHi = hi
+	}
+}
+
+// TestQuantileAgainstOracle compares histogram percentiles with the exact
+// sorted-sample answer on several distributions; they must agree within
+// the quantization bound.
+func TestQuantileAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() int64{
+		"uniform": func() int64 { return rng.Int63n(10_000_000) },
+		"exp":     func() int64 { return int64(rng.ExpFloat64() * 2e6) },
+		"bimodal": func() int64 {
+			if rng.Intn(100) < 95 {
+				return 50_000 + rng.Int63n(10_000)
+			}
+			return 40_000_000 + rng.Int63n(5_000_000)
+		},
+	}
+	for name, draw := range dists {
+		h := &Histogram{}
+		samples := make([]int64, 0, 50_000)
+		for i := 0; i < 50_000; i++ {
+			v := draw()
+			samples = append(samples, v)
+			h.Record(time.Duration(v))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+			rank := int(q*float64(len(samples)) + 0.5)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > len(samples) {
+				rank = len(samples)
+			}
+			want := time.Duration(samples[rank-1])
+			got := h.Quantile(q)
+			if !relClose(got, want) {
+				t.Errorf("%s q%.3f: hist %v, oracle %v (rel err > %.3f)",
+					name, q, got, want, maxRelErr)
+			}
+		}
+		if got, want := h.Max(), time.Duration(samples[len(samples)-1]); got != want {
+			t.Errorf("%s max: %v != %v", name, got, want)
+		}
+		if got, want := h.Min(), time.Duration(samples[0]); got != want {
+			t.Errorf("%s min: %v != %v", name, got, want)
+		}
+	}
+}
+
+// TestMergeMatchesCombined: recording a stream into K per-connection
+// histograms and merging must equal recording everything into one.
+func TestMergeMatchesCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const conns = 8
+	parts := make([]*Histogram, conns)
+	for i := range parts {
+		parts[i] = &Histogram{}
+	}
+	whole := &Histogram{}
+	for i := 0; i < 40_000; i++ {
+		v := time.Duration(rng.Int63n(100_000_000))
+		whole.Record(v)
+		parts[i%conns].Record(v)
+	}
+	merged := &Histogram{}
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() ||
+		merged.Max() != whole.Max() || merged.Mean() != whole.Mean() {
+		t.Fatalf("merged summary differs: count %d/%d min %v/%v max %v/%v mean %v/%v",
+			merged.Count(), whole.Count(), merged.Min(), whole.Min(),
+			merged.Max(), whole.Max(), merged.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%.3f: merged %v, whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestCoordinatedOmissionAdjustment is the property the whole subsystem
+// exists for: a latency stream measured from *intended* send times must
+// surface a stall in the tail. We simulate 10s of 1ms-spaced arrivals
+// where the server stops for 500ms: every arrival scheduled during the
+// stall waits for its end. A closed-loop measurement (service time only,
+// one blocked request) would report a p99 of ~service time; the
+// intended-time stream must push p99 into the hundreds of milliseconds.
+func TestCoordinatedOmissionAdjustment(t *testing.T) {
+	const (
+		interval = time.Millisecond
+		n        = 10_000
+		stallAt  = 5_000 // arrival index where the server stalls
+		stall    = 500 * time.Millisecond
+		service  = 100 * time.Microsecond
+	)
+	open := &Histogram{}   // measured from intended send time
+	closed := &Histogram{} // measured from actual send time (the lie)
+	for i := 0; i < n; i++ {
+		intended := time.Duration(i) * interval
+		stallEnd := time.Duration(stallAt)*interval + stall
+		actualStart := intended
+		if intended >= time.Duration(stallAt)*interval && intended < stallEnd {
+			actualStart = stallEnd
+		}
+		done := actualStart + service
+		open.Record(done - intended)
+		closed.Record(service)
+	}
+	if p99 := closed.Quantile(0.99); p99 > time.Millisecond {
+		t.Fatalf("closed-loop control p99 %v unexpectedly high", p99)
+	}
+	// 500 of 10000 arrivals (5%) land in the stall, so p99 must see it.
+	if p99 := open.Quantile(0.99); p99 < 100*time.Millisecond {
+		t.Fatalf("open-loop p99 %v does not surface the %v stall", p99, stall)
+	}
+	if max := open.Max(); !relClose(max, stall+service) {
+		t.Fatalf("open-loop max %v, want ≈%v", max, stall+service)
+	}
+}
+
+// TestBucketsRoundTrip: Buckets → FromBuckets preserves count exactly and
+// quantiles within one bucket width.
+func TestBucketsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := &Histogram{}
+	for i := 0; i < 20_000; i++ {
+		h.Record(time.Duration(rng.Int63n(50_000_000)))
+	}
+	bs := h.Buckets()
+	for i := 1; i < len(bs); i++ {
+		if bs[i].LoNanos <= bs[i-1].HiNanos {
+			t.Fatalf("buckets overlap or misordered at %d", i)
+		}
+	}
+	h2 := FromBuckets(bs)
+	if h2.Count() != h.Count() {
+		t.Fatalf("round-trip count %d != %d", h2.Count(), h.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if !relClose(h2.Quantile(q), h.Quantile(q)) {
+			t.Fatalf("q%.3f drifted: %v vs %v", q, h2.Quantile(q), h.Quantile(q))
+		}
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if bs := h.Buckets(); len(bs) != 0 {
+		t.Fatalf("empty histogram has %d buckets", len(bs))
+	}
+}

@@ -1,0 +1,185 @@
+package loadgen
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nvmcache/internal/kv"
+	"nvmcache/internal/server"
+)
+
+func selfHost(t *testing.T, opts server.Options) *server.Server {
+	t.Helper()
+	kvOpts := kv.DefaultOptions()
+	kvOpts.Shards = 2
+	srv, err := server.SelfHost(kvOpts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown() })
+	return srv
+}
+
+func testConfig(addr string) Config {
+	return Config{
+		Addr:    addr,
+		Rate:    2000,
+		Conns:   2,
+		Ops:     2000,
+		Seed:    1,
+		Timeout: 10 * time.Second,
+		Preload: 512,
+	}
+}
+
+// TestRunAllDistributions drives a live self-hosted nvserver at a fixed
+// arrival rate under every atomic distribution plus a phase-changing
+// schedule, and checks the accounting invariants the BENCH artifact
+// relies on.
+func TestRunAllDistributions(t *testing.T) {
+	srv := selfHost(t, server.Options{})
+	dists := append(append([]string{}, DistNames...), "zipf@1,churn@1")
+	for _, name := range dists {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(srv.Addr().String())
+			base := DefaultSpec()
+			base.Keys = 256
+			spec, err := ParseDist(name, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Dist = spec
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Sent != int64(cfg.Ops) {
+				t.Fatalf("sent %d of %d scheduled ops", rep.Sent, cfg.Ops)
+			}
+			if rep.Completed != rep.Sent || rep.Errors != 0 || rep.Timeouts != 0 {
+				t.Fatalf("completed=%d errors=%d timeouts=%d of sent=%d",
+					rep.Completed, rep.Errors, rep.Timeouts, rep.Sent)
+			}
+			if rep.Hist.Count() != rep.Completed {
+				t.Fatalf("histogram holds %d, completed %d", rep.Hist.Count(), rep.Completed)
+			}
+			if rep.Throughput() <= 0 {
+				t.Fatal("zero throughput")
+			}
+			// The server must have seen this run: the per-verb deltas must
+			// add up to at least what we sent (preload adds more; total.ops
+			// alone counts only batched writes).
+			d := rep.ServerDelta
+			verbs := d["total.puts"] + d["total.dels"] + d["total.gets"] + d["total.scans"]
+			if verbs < float64(rep.Sent) {
+				t.Fatalf("server verb deltas %.0f < sent %d (%v)", verbs, rep.Sent, d)
+			}
+		})
+	}
+}
+
+// TestRunScanDeltaCounts: a scan-heavy run must move the server's scans
+// counter — proving the delta plumbing reports per-run server cost, not
+// absolute counters.
+func TestRunScanDeltaCounts(t *testing.T) {
+	srv := selfHost(t, server.Options{})
+	cfg := testConfig(srv.Addr().String())
+	cfg.Dist = Spec{Kind: "scan", Keys: 256, ReadFrac: 0.8, ScanLen: 8}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServerDelta["total.scans"] <= 0 {
+		t.Fatalf("scan workload produced no scans delta: %v", rep.ServerDelta["total.scans"])
+	}
+}
+
+// TestStallInflatesTailAndFailsSLO is the subsystem's acceptance test: a
+// server stall must inflate the *reported* tail because latency is charged
+// from intended send times. The same workload and SLO pass on a healthy
+// server and fail when the server freezes for 300ms mid-run — a
+// closed-loop driver would have seen one slow op (0.1% of traffic) and
+// reported a healthy p99.
+func TestStallInflatesTailAndFailsSLO(t *testing.T) {
+	slo := &SLO{P99: 50 * time.Millisecond, MaxErrorFrac: 0.01}
+	const stall = 300 * time.Millisecond
+
+	run := func(t *testing.T, opts server.Options) *Report {
+		srv := selfHost(t, opts)
+		cfg := testConfig(srv.Addr().String())
+		cfg.Rate = 1000
+		cfg.Ops = 3000 // a 3s schedule; the stall shadows ~10% of arrivals
+		cfg.SLO = slo
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	t.Run("healthy", func(t *testing.T) {
+		rep := run(t, server.Options{})
+		if rep.SLO == nil || !rep.SLO.Pass {
+			t.Fatalf("healthy run failed SLO: %v", rep.SLO)
+		}
+	})
+
+	t.Run("stalled", func(t *testing.T) {
+		var fired atomic.Bool
+		var count atomic.Int64
+		opts := server.Options{Stall: func(verb string) {
+			// One freeze, mid-run (after the preload and ~1s of traffic).
+			if count.Add(1) == 1500 && fired.CompareAndSwap(false, true) {
+				time.Sleep(stall)
+			}
+		}}
+		rep := run(t, opts)
+		if p99 := rep.Hist.Quantile(0.99); p99 < stall/3 {
+			t.Fatalf("p99 %v does not reflect the %v stall — coordinated omission", p99, stall)
+		}
+		if rep.SLO == nil || rep.SLO.Pass {
+			t.Fatalf("stalled run passed its SLO: %+v", rep.SLO)
+		}
+		if len(rep.SLO.Violations) == 0 {
+			t.Fatal("failed SLO reports no violations")
+		}
+	})
+}
+
+// TestSLOEvaluation exercises the target checks directly.
+func TestSLOEvaluation(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Millisecond)
+	}
+	h.Record(100 * time.Millisecond) // the tail
+	rep := &Report{Hist: h, Sent: 1001, Completed: 1001, Elapsed: time.Second}
+
+	pass := (&SLO{P50: 10 * time.Millisecond, P99: 10 * time.Millisecond}).Evaluate(rep)
+	if !pass.Pass {
+		t.Fatalf("expected pass: %v", pass.Violations)
+	}
+	fail := (&SLO{P999: 500 * time.Microsecond, MinThroughput: 5000}).Evaluate(rep)
+	if fail.Pass || len(fail.Violations) != 2 {
+		t.Fatalf("expected 2 violations: %+v", fail)
+	}
+	errs := (&SLO{MaxErrorFrac: 0.001}).Evaluate(&Report{
+		Hist: h, Sent: 100, Completed: 90, Errors: 10, Elapsed: time.Second})
+	if errs.Pass {
+		t.Fatal("10% errors passed MaxErrorFrac=0.1%")
+	}
+}
+
+// TestConfigValidation: rejected configs must error before dialing.
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no-addr": {Rate: 100, Ops: 10},
+		"no-rate": {Addr: "127.0.0.1:1", Ops: 10},
+		"no-len":  {Addr: "127.0.0.1:1", Rate: 100},
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nvmcache/internal/benchfmt"
+)
+
+// Bench is the persisted BENCH_<experiment>.json artifact: the full
+// workload configuration, the latency distribution (percentiles for
+// humans, raw buckets for tooling that wants to re-aggregate or merge
+// runs), the server's STATS delta over exactly the measured window, and
+// the benchfmt envelope tying it all to a commit. Checked-in artifacts
+// form the repository's perf trajectory.
+type Bench struct {
+	benchfmt.Meta
+	Config  BenchConfig        `json:"config"`
+	Metrics BenchMetrics       `json:"metrics"`
+	Buckets []HistBucket       `json:"histogram"`
+	SLO     *SLOResult         `json:"slo,omitempty"`
+	Server  map[string]float64 `json:"server_delta,omitempty"`
+}
+
+// BenchConfig is the workload as JSON, with units in the field names.
+type BenchConfig struct {
+	Addr      string  `json:"addr"`
+	RateOps   float64 `json:"rate_ops"`
+	Conns     int     `json:"conns"`
+	DurationS float64 `json:"duration_s"`
+	Ops       int     `json:"ops,omitempty"`
+	Dist      Spec    `json:"dist"`
+	DistName  string  `json:"dist_name"`
+	Seed      int64   `json:"seed"`
+	Preload   uint64  `json:"preload,omitempty"`
+	TimeoutMS float64 `json:"timeout_ms"`
+}
+
+// BenchMetrics is the headline numbers.
+type BenchMetrics struct {
+	Sent          int64   `json:"sent"`
+	Completed     int64   `json:"completed"`
+	Errors        int64   `json:"errors"`
+	Timeouts      int64   `json:"timeouts"`
+	ElapsedS      float64 `json:"elapsed_s"`
+	ThroughputOps float64 `json:"throughput_ops"`
+	MinUS         float64 `json:"min_us"`
+	MeanUS        float64 `json:"mean_us"`
+	P50US         float64 `json:"p50_us"`
+	P90US         float64 `json:"p90_us"`
+	P99US         float64 `json:"p99_us"`
+	P999US        float64 `json:"p999_us"`
+	MaxUS         float64 `json:"max_us"`
+}
+
+func us(d time.Duration) float64 { return float64(d) / 1e3 }
+
+// Bench converts a report into its persisted artifact, stamping the
+// benchfmt envelope (schema, time, git state) for experiment id exp.
+func (r *Report) Bench(exp string) *Bench {
+	return &Bench{
+		Meta: benchfmt.NewMeta(exp),
+		Config: BenchConfig{
+			Addr:      r.Config.Addr,
+			RateOps:   r.Config.Rate,
+			Conns:     r.Config.Conns,
+			DurationS: r.Config.Duration.Seconds(),
+			Ops:       r.Config.Ops,
+			Dist:      r.Config.Dist,
+			DistName:  r.Config.Dist.Name(),
+			Seed:      r.Config.Seed,
+			Preload:   r.Config.Preload,
+			TimeoutMS: float64(r.Config.Timeout) / 1e6,
+		},
+		Metrics: BenchMetrics{
+			Sent:          r.Sent,
+			Completed:     r.Completed,
+			Errors:        r.Errors,
+			Timeouts:      r.Timeouts,
+			ElapsedS:      r.Elapsed.Seconds(),
+			ThroughputOps: r.Throughput(),
+			MinUS:         us(r.Hist.Min()),
+			MeanUS:        us(r.Hist.Mean()),
+			P50US:         us(r.Hist.Quantile(0.50)),
+			P90US:         us(r.Hist.Quantile(0.90)),
+			P99US:         us(r.Hist.Quantile(0.99)),
+			P999US:        us(r.Hist.Quantile(0.999)),
+			MaxUS:         us(r.Hist.Max()),
+		},
+		Buckets: r.Hist.Buckets(),
+		SLO:     r.SLO,
+		Server:  r.ServerDelta,
+	}
+}
+
+// Validate checks the artifact's internal consistency — the schema
+// contract CI's bench-smoke step enforces on every emitted file.
+func (b *Bench) Validate() error {
+	if err := b.Meta.Validate(); err != nil {
+		return err
+	}
+	if b.Config.RateOps <= 0 {
+		return errors.New("bench: config.rate_ops must be positive")
+	}
+	if b.Config.Conns <= 0 {
+		return errors.New("bench: config.conns must be positive")
+	}
+	if b.Config.DistName == "" {
+		return errors.New("bench: config.dist_name empty")
+	}
+	m := b.Metrics
+	if m.Completed > m.Sent {
+		return fmt.Errorf("bench: completed %d > sent %d", m.Completed, m.Sent)
+	}
+	if m.Sent > 0 && m.ElapsedS <= 0 {
+		return errors.New("bench: sent ops but elapsed_s is zero")
+	}
+	var inBuckets int64
+	for i, bk := range b.Buckets {
+		if bk.Count <= 0 {
+			return fmt.Errorf("bench: histogram[%d] count %d", i, bk.Count)
+		}
+		if bk.HiNanos < bk.LoNanos {
+			return fmt.Errorf("bench: histogram[%d] hi %d < lo %d", i, bk.HiNanos, bk.LoNanos)
+		}
+		if i > 0 && bk.LoNanos <= b.Buckets[i-1].LoNanos {
+			return fmt.Errorf("bench: histogram[%d] not ascending", i)
+		}
+		inBuckets += bk.Count
+	}
+	if inBuckets != m.Completed {
+		return fmt.Errorf("bench: histogram holds %d observations, completed=%d",
+			inBuckets, m.Completed)
+	}
+	if m.Completed > 0 {
+		if !(m.P50US <= m.P90US && m.P90US <= m.P99US && m.P99US <= m.P999US && m.P999US <= m.MaxUS) {
+			return fmt.Errorf("bench: percentiles not monotone: p50=%.1f p90=%.1f p99=%.1f p999=%.1f max=%.1f",
+				m.P50US, m.P90US, m.P99US, m.P999US, m.MaxUS)
+		}
+	}
+	return nil
+}
+
+// WriteBench persists the artifact (indented JSON, trailing newline),
+// validating first so a malformed artifact is never written.
+func WriteBench(path string, b *Bench) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	return benchfmt.WriteFile(path, b)
+}
+
+// ReadBench loads and validates a persisted artifact.
+func ReadBench(path string) (*Bench, error) {
+	var b Bench
+	if err := benchfmt.ReadFile(path, &b); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}

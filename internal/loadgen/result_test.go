@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nvmcache/internal/benchfmt"
+)
+
+func sampleReport(t *testing.T) *Report {
+	t.Helper()
+	h := &Histogram{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(20 * time.Millisecond))))
+	}
+	cfg, err := Config{
+		Addr: "127.0.0.1:7070", Rate: 500, Conns: 4, Duration: 10 * time.Second,
+		Dist: Spec{Kind: "zipf", Keys: 1 << 16, Skew: 1.2, ReadFrac: 0.9},
+		Seed: 42, Preload: 1000,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{
+		Config:    cfg,
+		Hist:      h,
+		Sent:      5000,
+		Completed: 5000,
+		Elapsed:   10 * time.Second,
+		ServerDelta: map[string]float64{
+			"total.ops": 5000, "total.puts": 500, "stripes.contended": 12,
+		},
+	}
+	rep.SLO = (&SLO{P99: 100 * time.Millisecond}).Evaluate(rep)
+	return rep
+}
+
+// TestBenchRoundTrip: write the artifact, read it back, and check the
+// pieces trajectory tooling depends on survive: schema, percentiles,
+// histogram (re-aggregatable to the same quantiles), server delta, SLO.
+func TestBenchRoundTrip(t *testing.T) {
+	rep := sampleReport(t)
+	b := rep.Bench("loadgen_test")
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_loadgen_test.json")
+	if err := WriteBench(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != benchfmt.Schema || got.Experiment != "loadgen_test" {
+		t.Fatalf("envelope mangled: %+v", got.Meta)
+	}
+	if got.Metrics != b.Metrics {
+		t.Fatalf("metrics changed in round trip:\n%+v\n%+v", got.Metrics, b.Metrics)
+	}
+	if got.Config.DistName != "zipf" || got.Config.Dist.Skew != 1.2 {
+		t.Fatalf("config mangled: %+v", got.Config)
+	}
+	if got.Server["stripes.contended"] != 12 {
+		t.Fatalf("server delta mangled: %v", got.Server)
+	}
+	if got.SLO == nil || !got.SLO.Pass {
+		t.Fatalf("slo mangled: %+v", got.SLO)
+	}
+	// The persisted buckets must re-aggregate to the same percentiles
+	// (within quantization) — that is what makes artifacts mergeable.
+	h2 := FromBuckets(got.Buckets)
+	if h2.Count() != rep.Hist.Count() {
+		t.Fatalf("bucket count %d != %d", h2.Count(), rep.Hist.Count())
+	}
+	p99a, p99b := rep.Hist.Quantile(0.99), h2.Quantile(0.99)
+	if !relClose(p99a, p99b) {
+		t.Fatalf("p99 drifted across persistence: %v vs %v", p99a, p99b)
+	}
+}
+
+// TestBenchValidateRejects enumerates the malformed artifacts CI must
+// refuse to upload.
+func TestBenchValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Bench){
+		"bad-schema":      func(b *Bench) { b.Schema = "nvmcache-bench/v0" },
+		"no-experiment":   func(b *Bench) { b.Experiment = "" },
+		"no-time":         func(b *Bench) { b.UnixTime = 0 },
+		"zero-rate":       func(b *Bench) { b.Config.RateOps = 0 },
+		"zero-conns":      func(b *Bench) { b.Config.Conns = 0 },
+		"no-dist":         func(b *Bench) { b.Config.DistName = "" },
+		"over-complete":   func(b *Bench) { b.Metrics.Completed = b.Metrics.Sent + 1 },
+		"lost-histogram":  func(b *Bench) { b.Buckets = b.Buckets[:1] },
+		"unsorted-hist":   func(b *Bench) { b.Buckets[0], b.Buckets[1] = b.Buckets[1], b.Buckets[0] },
+		"inverted-bucket": func(b *Bench) { b.Buckets[0].HiNanos = b.Buckets[0].LoNanos - 1 },
+		"bad-percentiles": func(b *Bench) { b.Metrics.P50US = b.Metrics.MaxUS + 1 },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			b := sampleReport(t).Bench("x")
+			if err := b.Validate(); err != nil {
+				t.Fatalf("baseline invalid: %v", err)
+			}
+			mutate(b)
+			err := b.Validate()
+			if err == nil {
+				t.Fatal("mutated artifact validated")
+			}
+			if strings.Contains(err.Error(), "%!") {
+				t.Fatalf("mangled error message: %v", err)
+			}
+		})
+	}
+}
+
+// TestWriteBenchRefusesInvalid: a malformed artifact must never reach disk.
+func TestWriteBenchRefusesInvalid(t *testing.T) {
+	b := sampleReport(t).Bench("x")
+	b.Config.RateOps = -1
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := WriteBench(path, b); err == nil {
+		t.Fatal("invalid artifact written")
+	}
+	if _, err := ReadBench(path); err == nil {
+		t.Fatal("file exists after refused write")
+	}
+}

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SLO declares latency/throughput targets a run must meet. Zero fields are
+// unchecked, so an SLO can be as narrow as "p99 under 5ms". Latency bounds
+// apply to the coordinated-omission-aware distribution — measured from
+// intended send time — so a server stall that queues requests counts
+// against the tail even though each individual service time looked fine.
+type SLO struct {
+	P50  time.Duration `json:"p50_max_ns,omitempty"`
+	P99  time.Duration `json:"p99_max_ns,omitempty"`
+	P999 time.Duration `json:"p999_max_ns,omitempty"`
+	// MinThroughput is completed operations per second.
+	MinThroughput float64 `json:"min_throughput_ops,omitempty"`
+	// MaxErrorFrac bounds (errors+timeouts)/sent.
+	MaxErrorFrac float64 `json:"max_error_frac,omitempty"`
+	// MaxErrors is an absolute bound on errors+timeouts; zero = unchecked.
+	MaxErrors int64 `json:"max_errors,omitempty"`
+}
+
+// IsZero reports whether no target is declared.
+func (s SLO) IsZero() bool { return s == SLO{} }
+
+// SLOResult is the verdict: the declared targets, pass/fail, and one
+// human-readable line per violated target.
+type SLOResult struct {
+	Declared   SLO      `json:"declared"`
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Evaluate checks the report against the declared targets.
+func (s *SLO) Evaluate(r *Report) *SLOResult {
+	res := &SLOResult{Declared: *s}
+	check := func(name string, bound time.Duration, q float64) {
+		if bound <= 0 {
+			return
+		}
+		got := r.Hist.Quantile(q)
+		if got > bound {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s %v > %v", name, got, bound))
+		}
+	}
+	check("p50", s.P50, 0.50)
+	check("p99", s.P99, 0.99)
+	check("p999", s.P999, 0.999)
+	if s.MinThroughput > 0 {
+		if got := r.Throughput(); got < s.MinThroughput {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("throughput %.0f ops/s < %.0f", got, s.MinThroughput))
+		}
+	}
+	if s.MaxErrorFrac > 0 {
+		if got := r.ErrorFrac(); got > s.MaxErrorFrac {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("error fraction %.4f > %.4f", got, s.MaxErrorFrac))
+		}
+	}
+	if s.MaxErrors > 0 {
+		if got := r.Errors + r.Timeouts; got > s.MaxErrors {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("errors %d > %d", got, s.MaxErrors))
+		}
+	}
+	res.Pass = len(res.Violations) == 0
+	return res
+}
+
+// String renders the verdict on one line.
+func (r *SLOResult) String() string {
+	if r.Pass {
+		return "SLO PASS"
+	}
+	return "SLO FAIL: " + strings.Join(r.Violations, "; ")
+}

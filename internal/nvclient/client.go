@@ -1,0 +1,146 @@
+// Package nvclient is the reusable Go client for the nvserver line
+// protocol, extracted from the ad-hoc connection handling that used to
+// live in cmd/nvserver's self-test. It offers two calling styles:
+//
+//   - Blocking: Do sends one request and waits for its one-line reply
+//     (DoMulti for STATS-style multi-line replies).
+//   - Pipelined: Send buffers requests without waiting, Flush pushes the
+//     window to the server in one write, Recv reads replies in order.
+//     Replies are strictly FIFO (the server handles a connection's
+//     requests sequentially), so no request ids are needed.
+//
+// The open-loop load driver (internal/loadgen) is built on the pipelined
+// style: its sender goroutine Sends on schedule while a reader goroutine
+// Recvs, so a slow reply never delays the next scheduled request.
+package nvclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// Client is one protocol connection. The blocking calls (Do, DoMulti,
+// Stats) must not be interleaved with pipelined calls on other goroutines;
+// in pipelined style, one goroutine may Send/Flush while another Recvs.
+type Client struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// Dial connects to an nvserver at addr.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a bound on connection establishment.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+}
+
+// Close tears the connection down. In-flight pipelined requests are lost.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// Do sends one request line and waits for its one-line reply, trimmed.
+func (cl *Client) Do(cmd string) (string, error) {
+	if err := cl.Send(cmd); err != nil {
+		return "", err
+	}
+	if err := cl.Flush(); err != nil {
+		return "", err
+	}
+	return cl.Recv()
+}
+
+// DoMulti sends one request and reads reply lines until the terminator
+// (exclusive).
+func (cl *Client) DoMulti(cmd, end string) ([]string, error) {
+	if err := cl.Send(cmd); err != nil {
+		return nil, err
+	}
+	if err := cl.Flush(); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		line, err := cl.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if line == end {
+			return out, nil
+		}
+		out = append(out, line)
+	}
+}
+
+// Send buffers one request line without flushing; pair with Flush and
+// Recv. A request buffered but never flushed is never seen by the server.
+func (cl *Client) Send(cmd string) error {
+	_, err := fmt.Fprintln(cl.w, cmd)
+	return err
+}
+
+// Flush pushes every buffered request to the server in one write.
+func (cl *Client) Flush() error { return cl.w.Flush() }
+
+// Recv reads the next reply line (FIFO order), trimmed of whitespace.
+func (cl *Client) Recv() (string, error) {
+	line, err := cl.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// SetReadDeadline bounds every subsequent Recv; the zero time clears it.
+// A deadline error poisons the connection's buffered reader state, so
+// treat a timed-out client as dead.
+func (cl *Client) SetReadDeadline(t time.Time) error { return cl.c.SetReadDeadline(t) }
+
+// Put stores k→v, returning an error for anything but an OK ack.
+func (cl *Client) Put(k, v uint64) error {
+	reply, err := cl.Do(fmt.Sprintf("PUT %d %d", k, v))
+	if err != nil {
+		return err
+	}
+	if reply != "OK" {
+		return fmt.Errorf("nvclient: PUT %d: %s", k, reply)
+	}
+	return nil
+}
+
+// Get reads k, reporting presence.
+func (cl *Client) Get(k uint64) (uint64, bool, error) {
+	reply, err := cl.Do(fmt.Sprintf("GET %d", k))
+	if err != nil {
+		return 0, false, err
+	}
+	switch {
+	case reply == "NIL":
+		return 0, false, nil
+	case strings.HasPrefix(reply, "VAL "):
+		var v uint64
+		if _, err := fmt.Sscanf(reply, "VAL %d", &v); err != nil {
+			return 0, false, fmt.Errorf("nvclient: GET %d: bad reply %q", k, reply)
+		}
+		return v, true, nil
+	}
+	return 0, false, fmt.Errorf("nvclient: GET %d: %s", k, reply)
+}
+
+// Stats fetches and parses one STATS snapshot.
+func (cl *Client) Stats() (*Stats, error) {
+	lines, err := cl.DoMulti("STATS", "END")
+	if err != nil {
+		return nil, err
+	}
+	return ParseStats(lines)
+}

@@ -1,0 +1,279 @@
+// Package server implements the nvserver TCP line protocol on top of a
+// kv.Store. It used to live inside cmd/nvserver; it is a package of its
+// own so that internal/loadgen can boot an in-process ("self-hosted")
+// server for tests, CI smoke runs and nvbench experiments without an
+// external process, and so the protocol has exactly one implementation.
+//
+// One goroutine accepts; every connection gets its own handler goroutine,
+// so a slow client never stalls the others — concurrency converges in the
+// store's shard queues, where group commit batches it.
+//
+// Protocol (one request line, one reply line, decimal uint64 operands):
+//
+//	PUT <k> <v>      ->  OK
+//	GET <k>          ->  VAL <v> | NIL
+//	DEL <k>          ->  OK | NIL
+//	SCAN <start> <n> ->  RANGE <count> k1 v1 k2 v2 ... (ascending, one line)
+//	STATS            ->  one line per shard, a total line, a stripes line, then END
+//	QUIT             ->  BYE (server closes the connection)
+//	anything else    ->  ERR <message>
+//
+// An OK reply to PUT/DEL is an ack-after-flush: the mutation's FASE has
+// committed and drained, so it survives any later power failure. STATS
+// lines are sorted, stable `key=value` tokens (see kv.ShardStats.Pairs);
+// internal/nvclient parses them.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nvmcache/internal/kv"
+	"nvmcache/internal/pmem"
+)
+
+// MaxScan caps the pair count one SCAN may return (the reply is a single
+// line; an unbounded scan would turn it into an arbitrarily large write).
+const MaxScan = 512
+
+// Options tune one Server beyond its store and listener.
+type Options struct {
+	// Stall, when non-nil, runs before every parsed request with the
+	// request's verb. Load tests inject server-side latency through it (a
+	// sleeping hook) to prove the client's coordinated-omission accounting:
+	// an open-loop driver must see the stall inflate its tail percentiles.
+	Stall func(verb string)
+}
+
+// Server serves the line protocol until Shutdown.
+type Server struct {
+	st     *kv.Store
+	ln     net.Listener
+	opts   Options
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// New wraps an accepted listener and a running store. Call Serve to accept.
+func New(st *kv.Store, ln net.Listener, opts Options) *Server {
+	return &Server{st: st, ln: ln, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves st in a background goroutine.
+func Start(st *kv.Store, addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := New(st, ln, opts)
+	go srv.Serve()
+	return srv, nil
+}
+
+// SelfHost boots a complete in-process server: a fresh emulated NVRAM heap
+// sized for kvOpts, a store opened on it, and a listener on an ephemeral
+// loopback port, serving in the background. It is how loadgen tests, CI
+// smoke runs and `nvload -selfhost` get a live nvserver with no external
+// process. Shutdown closes the store too.
+func SelfHost(kvOpts kv.Options, opts Options) (*Server, error) {
+	h := pmem.New(int(kv.RecommendedHeapBytes(kvOpts)))
+	st, err := kv.Open(h, kvOpts)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := Start(st, "127.0.0.1:0", opts)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Addr returns the listener's address (dial this).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Store exposes the served store (self-tests assert against it directly).
+func (s *Server) Store() *kv.Store { return s.st }
+
+// Serve accepts until the listener closes.
+func (s *Server) Serve() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(c)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown stops accepting, unblocks every connection reader, waits for
+// the handlers to finish, then closes the store gracefully: requests
+// already in the shard queues are still batched, committed, flushed and
+// acked before Close returns, so a load run ends with a clean durable
+// state. On a crashed store the drain is impossible and Close reports
+// ErrCrashed; Shutdown passes that through.
+func (s *Server) Shutdown() error {
+	s.closed.Store(true)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return s.st.Close()
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer c.Close()
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	for {
+		line, err := r.ReadString('\n')
+		if fields := strings.Fields(line); len(fields) > 0 {
+			if quit := s.command(w, fields); quit {
+				w.Flush()
+				return
+			}
+		}
+		if err != nil {
+			w.Flush()
+			return
+		}
+		// Flush only when no further request is already buffered: a
+		// pipelining client gets its whole window's replies in one syscall.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// command executes one request line and buffers the reply; it reports
+// whether the connection should close.
+func (s *Server) command(w *bufio.Writer, f []string) (quit bool) {
+	verb := strings.ToUpper(f[0])
+	if s.opts.Stall != nil {
+		s.opts.Stall(verb)
+	}
+	switch verb {
+	case "PUT":
+		k, v, err := parse2(f)
+		if err != nil {
+			fmt.Fprintf(w, "ERR usage: PUT <key> <value> (%v)\n", err)
+			return false
+		}
+		if err := s.st.Put(k, v); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintln(w, "OK")
+	case "GET":
+		k, err := parse1(f)
+		if err != nil {
+			fmt.Fprintf(w, "ERR usage: GET <key> (%v)\n", err)
+			return false
+		}
+		v, ok, err := s.st.Get(k)
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "ERR %v\n", err)
+		case ok:
+			fmt.Fprintf(w, "VAL %d\n", v)
+		default:
+			fmt.Fprintln(w, "NIL")
+		}
+	case "DEL":
+		k, err := parse1(f)
+		if err != nil {
+			fmt.Fprintf(w, "ERR usage: DEL <key> (%v)\n", err)
+			return false
+		}
+		found, err := s.st.Delete(k)
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "ERR %v\n", err)
+		case found:
+			fmt.Fprintln(w, "OK")
+		default:
+			fmt.Fprintln(w, "NIL")
+		}
+	case "SCAN":
+		start, n, err := parse2(f)
+		if err != nil {
+			fmt.Fprintf(w, "ERR usage: SCAN <start> <count> (%v)\n", err)
+			return false
+		}
+		if n > MaxScan {
+			n = MaxScan
+		}
+		pairs, err := s.st.Scan(start, int(n))
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "RANGE %d", len(pairs))
+		for _, p := range pairs {
+			fmt.Fprintf(w, " %d %d", p.K, p.V)
+		}
+		fmt.Fprintln(w)
+	case "STATS":
+		stats := s.st.Stats()
+		for _, st := range stats {
+			fmt.Fprintln(w, st)
+		}
+		fmt.Fprintln(w, kv.Totals(stats))
+		fmt.Fprintln(w, s.st.StripeSummary())
+		fmt.Fprintln(w, "END")
+	case "QUIT":
+		fmt.Fprintln(w, "BYE")
+		return true
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", f[0])
+	}
+	return false
+}
+
+func parse1(f []string) (uint64, error) {
+	if len(f) != 2 {
+		return 0, fmt.Errorf("want 1 operand, got %d", len(f)-1)
+	}
+	return strconv.ParseUint(f[1], 10, 64)
+}
+
+func parse2(f []string) (uint64, uint64, error) {
+	if len(f) != 3 {
+		return 0, 0, fmt.Errorf("want 2 operands, got %d", len(f)-1)
+	}
+	k, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := strconv.ParseUint(f[2], 10, 64)
+	return k, v, err
+}
