@@ -74,11 +74,13 @@ func run(workload, traceFile string, threadIdx int, scale float64, maxSize, burs
 
 	cfg := locality.DefaultKneeConfig()
 	cfg.MaxSize = maxSize
-	full := locality.MRCFromReuse(locality.ReuseAll(renamed), maxSize)
+	fullProf := locality.ProfileBurst(renamed, maxSize)
+	full := fullProf.MRC
 
 	if !compare {
-		fmt.Printf("# %d writes, %d FASEs; knees %v; selected size %d\n",
-			seq.NumWrites(), seq.NumFASEs(), locality.Knees(full, cfg), locality.SelectSize(full, cfg))
+		fmt.Printf("# %d writes, %d FASEs; working set %.0f lines, hotness %.3f; knees %v; selected size %d\n",
+			seq.NumWrites(), seq.NumFASEs(), fullProf.WorkingSet, fullProf.Hotness,
+			locality.Knees(full, cfg), locality.SelectSize(full, cfg))
 		fmt.Print(full.String())
 		return nil
 	}
@@ -96,7 +98,7 @@ func run(workload, traceFile string, threadIdx int, scale float64, maxSize, burs
 		}
 		smp.FASEEnd()
 	}
-	sampled := locality.MRCFromReuse(locality.ReuseAll(smp.Burst()), maxSize)
+	sampled := locality.ProfileBurst(smp.Burst(), maxSize).MRC
 
 	fmt.Printf("# capacity actual full sampled (burst %d writes)\n", len(smp.Burst()))
 	for c := 0; c <= maxSize; c++ {

@@ -300,6 +300,25 @@ var experiments = []experiment{
 		c.show(r.Table())
 		return nil
 	}},
+	{"adaptive", "online adaptive control plane: static vs adaptive per-phase latency on a phase-changing schedule", func(c *runCtx) error {
+		opt := harness.DefaultAdaptiveOptions()
+		// -scale shrinks the op budget like the loadgen sweep; the arrival
+		// rate and decision interval stay fixed.
+		if s := c.opt.Scale * 256; s > 0 && s != 1 {
+			opt.Ops = int(float64(opt.Ops) * s)
+			if opt.Ops < 1500 {
+				opt.Ops = 1500
+			}
+		}
+		opt.Seed = c.opt.Seed
+		r, err := harness.AdaptiveSweep(opt)
+		if err != nil {
+			return err
+		}
+		c.show(r.Table())
+		c.show(r.TrajectoryTable())
+		return nil
+	}},
 }
 
 func lookup(id string) (experiment, bool) {

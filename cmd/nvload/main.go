@@ -25,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"nvmcache/internal/adaptive"
 	"nvmcache/internal/kv"
 	"nvmcache/internal/loadgen"
 	"nvmcache/internal/server"
@@ -32,21 +33,24 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "nvserver address (host:port)")
-		selfhost = flag.Bool("selfhost", false, "boot an in-process nvserver on a loopback port and drive it")
-		shards   = flag.Int("shards", 0, "shard count for -selfhost (0 = store default)")
-		rate     = flag.Float64("rate", 5000, "aggregate arrival rate, ops/sec (open loop)")
-		conns    = flag.Int("conns", 4, "connection count the rate is spread across")
-		duration = flag.Duration("duration", 0, "length of the arrival schedule")
-		ops      = flag.Int("ops", 0, "total operation count (alternative to -duration)")
-		dist     = flag.String("dist", "uniform", "distribution: uniform, zipf, churn, scan, or a kind@frac,... phase schedule")
-		keys     = flag.Uint64("keys", 1<<16, "keyspace size (churn: live-window size)")
-		skew     = flag.Float64("skew", 1.1, "zipf skew parameter (>1)")
-		readFrac = flag.Float64("read-frac", 0.5, "GET fraction (scan: SCAN fraction)")
-		scanLen  = flag.Int("scan-len", 16, "pairs per SCAN")
-		preload  = flag.Uint64("preload", 0, "PUT keys [0,n) before the measured window")
-		seed     = flag.Int64("seed", 42, "workload seed (same seed = same op stream)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-reply timeout")
+		addr       = flag.String("addr", "", "nvserver address (host:port)")
+		selfhost   = flag.Bool("selfhost", false, "boot an in-process nvserver on a loopback port and drive it")
+		shards     = flag.Int("shards", 0, "shard count for -selfhost (0 = store default)")
+		adapt      = flag.Bool("adaptive", false, "selfhost: run the online adaptive control plane (live MRC-driven cache, batch and pipeline sizing)")
+		adaptEvery = flag.Duration("adaptive-interval", 100*time.Millisecond, "selfhost: adaptive decision period")
+		memBudget  = flag.Int("mem-budget", 0, "selfhost: cap on total adaptive write-cache lines across shards (0 = per-shard knee only)")
+		rate       = flag.Float64("rate", 5000, "aggregate arrival rate, ops/sec (open loop)")
+		conns      = flag.Int("conns", 4, "connection count the rate is spread across")
+		duration   = flag.Duration("duration", 0, "length of the arrival schedule")
+		ops        = flag.Int("ops", 0, "total operation count (alternative to -duration)")
+		dist       = flag.String("dist", "uniform", "distribution: uniform, zipf, churn, scan, or a kind@frac,... phase schedule")
+		keys       = flag.Uint64("keys", 1<<16, "keyspace size (churn: live-window size)")
+		skew       = flag.Float64("skew", 1.1, "zipf skew parameter (>1)")
+		readFrac   = flag.Float64("read-frac", 0.5, "GET fraction (scan: SCAN fraction)")
+		scanLen    = flag.Int("scan-len", 16, "pairs per SCAN")
+		preload    = flag.Uint64("preload", 0, "PUT keys [0,n) before the measured window")
+		seed       = flag.Int64("seed", 42, "workload seed (same seed = same op stream)")
+		timeout    = flag.Duration("timeout", 5*time.Second, "per-reply timeout")
 
 		sloP50  = flag.Duration("slo-p50", 0, "SLO: max p50 latency (0 = unchecked)")
 		sloP99  = flag.Duration("slo-p99", 0, "SLO: max p99 latency")
@@ -75,6 +79,12 @@ func main() {
 		kvOpts := kv.DefaultOptions()
 		if *shards > 0 {
 			kvOpts.Shards = *shards
+		}
+		if *adapt {
+			cfg := adaptive.DefaultConfig()
+			cfg.Interval = *adaptEvery
+			cfg.MemBudget = *memBudget
+			kvOpts.Adaptive = cfg
 		}
 		srv, err := server.SelfHost(kvOpts, server.Options{})
 		if err != nil {
@@ -135,6 +145,12 @@ func printReport(r *loadgen.Report) {
 		r.Hist.Quantile(0.99).Round(time.Microsecond),
 		r.Hist.Quantile(0.999).Round(time.Microsecond),
 		r.Hist.Max().Round(time.Microsecond))
+	for i, h := range r.PhaseHists {
+		fmt.Printf("  phase %d (%s): completed=%d p50=%v p99=%v\n",
+			i, r.PhaseNames[i], h.Count(),
+			h.Quantile(0.50).Round(time.Microsecond),
+			h.Quantile(0.99).Round(time.Microsecond))
+	}
 	if d := r.ServerDelta; len(d) > 0 {
 		fmt.Printf("server: ops=%.0f puts=%.0f gets=%.0f dels=%.0f scans=%.0f flush_ratio_pts=%.3f stripe_contended=%.0f\n",
 			d["total.ops"], d["total.puts"], d["total.gets"], d["total.dels"], d["total.scans"],

@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"nvmcache/internal/adaptive"
 	"nvmcache/internal/core"
 	"nvmcache/internal/kv"
 	"nvmcache/internal/pmem"
@@ -32,6 +33,9 @@ func main() {
 		pipeline   = flag.Bool("pipeline", false, "asynchronous batched flush pipeline: overlap each batch's drain with the next batch's stores")
 		pipeDepth  = flag.Int("pipeline-depth", 256, "pipeline ring capacity in pending line flushes (backpressure bound)")
 		pipeBatch  = flag.Int("pipeline-batch", 64, "max lines per pipeline worker batch")
+		adapt      = flag.Bool("adaptive", false, "online adaptive control plane: live MRC-driven cache, batch and pipeline sizing per shard (forces -policy SC-offline)")
+		adaptEvery = flag.Duration("adaptive-interval", 100*time.Millisecond, "adaptive: decision period")
+		memBudget  = flag.Int("mem-budget", 0, "adaptive: cap on total write-cache lines across shards (0 = per-shard knee only)")
 		selftest   = flag.Bool("selftest", false, "run the crash/recovery self-test and exit")
 		exhaustive = flag.Bool("exhaustive", false, "self-test: add phase C, the exhaustive crash-point exploration")
 		clients    = flag.Int("clients", 8, "self-test: concurrent closed-loop clients")
@@ -53,6 +57,15 @@ func main() {
 	opts.Policy = pk
 	if *pipeline {
 		opts.Pipeline = core.PipelineConfig{Enabled: true, Depth: *pipeDepth, BatchSize: *pipeBatch}
+	}
+	if *adapt {
+		cfg := adaptive.DefaultConfig()
+		cfg.Interval = *adaptEvery
+		cfg.MemBudget = *memBudget
+		opts.Adaptive = cfg
+		// The store forces this anyway; set it here too so the serving
+		// banner and -selftest report the policy actually running.
+		opts.Policy = core.SoftCacheOffline
 	}
 
 	if *selftest {

@@ -46,6 +46,13 @@ type Options struct {
 	// numbered crash points here; the wrapped sink must preserve FlushSink
 	// semantics (a drain durably persists its lines before returning).
 	WrapSink func(thread int32, sink core.FlushSink) core.FlushSink
+	// StoreTap, when non-nil, builds a per-thread observer of the
+	// persistent-store line stream (the adaptive control plane's sampling
+	// tap). The runtime calls TapStore for every line the thread stores and
+	// TapFASEEnd at every outermost FASE close; a nil return leaves the
+	// thread untapped. Taps see the same event stream as the policy but
+	// cannot affect it.
+	StoreTap func(thread int32) core.StoreTap
 	// UndoHook, when non-nil, is called at each undo-log persistence point
 	// (see UndoOp) on the mutating goroutine, before the corresponding
 	// durable write. A hook may panic to simulate a power failure at that
@@ -136,6 +143,9 @@ func (rt *Runtime) NewThread() (*Thread, error) {
 		t.sink = t.pipeline
 	}
 	t.policy = core.NewPolicy(rt.opts.Policy, rt.opts.Config, t.sink)
+	if rt.opts.StoreTap != nil {
+		t.tap = rt.opts.StoreTap(id)
+	}
 	if !rt.opts.DisableTrace {
 		t.builder = trace.NewBuilder(id)
 		t.recording = true
@@ -212,6 +222,7 @@ type Thread struct {
 	rt        *Runtime
 	heap      *pmem.Heap
 	policy    core.Policy
+	tap       core.StoreTap  // optional store-stream observer; may be nil
 	sink      core.FlushSink // the policy's sink; the pipeline when enabled
 	pipeline  *core.FlushPipeline
 	builder   *trace.Builder
@@ -300,6 +311,9 @@ func (t *Thread) FASEEnd() {
 		return
 	}
 	t.policy.FASEEnd()
+	if t.tap != nil {
+		t.tap.TapFASEEnd()
+	}
 	t.curLog().commit()
 	if t.recording {
 		t.builder.End()
@@ -327,6 +341,9 @@ func (t *Thread) FASEPublish() FASETicket {
 	t.depth--
 	t.pipeline.DeferNextDrain()
 	t.policy.FASEEnd()
+	if t.tap != nil {
+		t.tap.TapFASEEnd()
+	}
 	epoch := t.pipeline.TakeDeferred()
 	t.pubSeq++
 	t.outstanding = append(t.outstanding, pendingFASE{id: t.pubSeq, log: t.curLog(), epoch: epoch})
@@ -379,6 +396,9 @@ func (t *Thread) FASEAbort() error {
 	// writes land (the rollback persists directly, bypassing the pipeline).
 	t.awaitOutstanding()
 	t.policy.FASEEnd()
+	if t.tap != nil {
+		t.tap.TapFASEEnd()
+	}
 	dropped := t.curLog().rollback()
 	if t.recording {
 		t.builder.End()
@@ -467,6 +487,9 @@ func (t *Thread) noteStore(addr, size uint64) {
 	for l := first; l <= last; l++ {
 		t.stores++
 		t.policy.Store(trace.LineAddr(l))
+		if t.tap != nil {
+			t.tap.TapStore(trace.LineAddr(l))
+		}
 		if t.recording {
 			t.builder.Store(trace.LineAddr(l))
 		}

@@ -22,7 +22,13 @@ import (
 
 // Schema tags every artifact this repository emits; bump the suffix on
 // breaking changes so trajectory tooling can refuse to diff across them.
-const Schema = "nvmcache-bench/v1"
+// v1.1 added the optional per-phase latency breakdown (`phases`) to the
+// loadgen artifact — a pure addition, so v1 artifacts stay readable.
+const Schema = "nvmcache-bench/v1.1"
+
+// acceptedSchemas are the envelope versions Validate admits: the current
+// one plus older versions the current schema is a superset of.
+var acceptedSchemas = []string{Schema, "nvmcache-bench/v1"}
 
 // GitInfo pins an artifact to the code that produced it.
 type GitInfo struct {
@@ -72,8 +78,15 @@ func CaptureGit(dir string) GitInfo {
 
 // Validate checks the envelope fields every artifact must carry.
 func (m Meta) Validate() error {
-	if m.Schema != Schema {
-		return fmt.Errorf("benchfmt: schema %q, want %q", m.Schema, Schema)
+	accepted := false
+	for _, s := range acceptedSchemas {
+		if m.Schema == s {
+			accepted = true
+			break
+		}
+	}
+	if !accepted {
+		return fmt.Errorf("benchfmt: schema %q, want one of %v", m.Schema, acceptedSchemas)
 	}
 	if m.Experiment == "" {
 		return errors.New("benchfmt: empty experiment id")

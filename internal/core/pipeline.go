@@ -122,6 +122,7 @@ type FlushPipeline struct {
 	notEmpty  sync.Cond
 	epochCond sync.Cond
 	ring      []pipeEntry
+	effDepth  int // backpressure bound ≤ len(ring); see SetDepth
 	head      int // index of oldest entry
 	count     int
 	published uint64
@@ -164,9 +165,10 @@ type pipeStats struct {
 func NewFlushPipeline(inner FlushSink, cfg PipelineConfig) *FlushPipeline {
 	cfg = cfg.withDefaults()
 	p := &FlushPipeline{
-		inner: inner,
-		cfg:   cfg,
-		ring:  make([]pipeEntry, cfg.Depth),
+		inner:    inner,
+		cfg:      cfg,
+		ring:     make([]pipeEntry, cfg.Depth),
+		effDepth: cfg.Depth,
 	}
 	if cs, ok := inner.(CaptureSink); ok {
 		p.capt = cs
@@ -306,6 +308,31 @@ func (p *FlushPipeline) Stats() FlushStats {
 	return s
 }
 
+// SetDepth retargets the backpressure bound: enqueues block once d entries
+// are pending. The ring's storage stays at its construction capacity, so d
+// is clamped to [1, cfg.Depth]; raising the bound releases any mutator
+// blocked on backpressure. Safe from any goroutine — the adaptive
+// controller calls it while the owning mutator is storing.
+func (p *FlushPipeline) SetDepth(d int) {
+	if d < 1 {
+		d = 1
+	}
+	p.mu.Lock()
+	if d > len(p.ring) {
+		d = len(p.ring)
+	}
+	p.effDepth = d
+	p.notFull.Broadcast()
+	p.mu.Unlock()
+}
+
+// Depth returns the backpressure bound currently in effect.
+func (p *FlushPipeline) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.effDepth
+}
+
 // BatchSizes returns the batch-size histogram: bucket i counts worker
 // batches of 2^i ≤ lines < 2^(i+1) (last bucket open-ended).
 func (p *FlushPipeline) BatchSizes() [pipeBatchBuckets]int64 {
@@ -366,15 +393,15 @@ func (p *FlushPipeline) enqueueLocked(line trace.LineAddr, kind uint8) {
 	if p.aborted {
 		return // crash path: flushes after abort are dropped
 	}
-	if p.count == len(p.ring) {
+	if p.count >= p.effDepth {
 		if p.cfg.Synchronous {
-			for p.count == len(p.ring) {
+			for p.count >= p.effDepth {
 				p.processChunkLocked()
 			}
 		} else {
 			p.pstats.stalls++
 			start := time.Now()
-			for p.count == len(p.ring) && !p.aborted {
+			for p.count >= p.effDepth && !p.aborted {
 				p.notFull.Wait()
 			}
 			p.pstats.stallNanos += time.Since(start).Nanoseconds()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"nvmcache/internal/locality"
 	"nvmcache/internal/sampling"
 	"nvmcache/internal/trace"
@@ -25,6 +27,13 @@ type softCachePolicy struct {
 
 	sampler *sampling.Sampler
 	report  AdaptReport
+
+	// capacity mirrors cache.Capacity() for concurrent readers; pending is
+	// an externally requested capacity (0 = none), published by any
+	// goroutine via RequestCapacity and consumed by the owning thread at
+	// FASE end.
+	capacity atomic.Int64
+	pending  atomic.Int64
 }
 
 // AdaptReport describes what the adaptive controller did during a run; the
@@ -69,6 +78,7 @@ func newSoftCachePolicy(cfg Config, sink FlushSink, online bool) *softCachePolic
 		online: online,
 		report: AdaptReport{Online: online, InitialSize: size, ChosenSize: size},
 	}
+	p.capacity.Store(int64(size))
 	if online {
 		scfg := sampling.DefaultConfig(cfg.BurstLength)
 		if cfg.Hibernation != 0 {
@@ -100,6 +110,16 @@ func (p *softCachePolicy) Store(line trace.LineAddr) {
 func (p *softCachePolicy) FASEBegin() {}
 
 func (p *softCachePolicy) FASEEnd() {
+	// Apply an externally requested resize first, while the cache still
+	// holds the FASE's lines: a shrink genuinely evicts here, and the
+	// evicted lines' FlushLine write-backs are covered by the Drain barrier
+	// below, so the persistence guarantee is unchanged. Load-then-swap
+	// keeps the common case (no request) a read-only atomic.
+	if p.pending.Load() != 0 {
+		if c := p.pending.Swap(0); c != 0 {
+			p.applyCapacity(int(c))
+		}
+	}
 	if p.sampler != nil {
 		p.sampler.FASEEnd()
 	}
@@ -129,18 +149,42 @@ func (p *softCachePolicy) adapt() {
 	if len(burst) == 0 {
 		return
 	}
-	mrc := locality.MRCFromReuse(locality.ReuseAll(burst), p.cfg.Knee.MaxSize)
+	mrc := locality.ProfileBurst(burst, p.cfg.Knee.MaxSize).MRC
 	size := locality.SelectSize(mrc, p.cfg.Knee)
-	for _, line := range p.cache.Resize(size) {
-		p.sink.FlushLine(line)
-	}
+	p.applyCapacity(size)
 	p.report.Adapted = true
 	p.report.Adaptations++
 	p.report.ChosenSize = size
 }
 
+// applyCapacity resizes on the owning thread, flushing shrink evictions
+// like capacity evictions. Runs only on the mutator.
+func (p *softCachePolicy) applyCapacity(c int) {
+	if c < 1 {
+		c = 1
+	}
+	if c == p.cache.Capacity() {
+		return
+	}
+	for _, line := range p.cache.Resize(c) {
+		p.sink.FlushLine(line)
+	}
+	p.capacity.Store(int64(c))
+}
+
 // AdaptReport implements SizeReporter.
 func (p *softCachePolicy) AdaptReport() AdaptReport { return p.report }
 
-// CacheSize returns the current capacity (for tests and diagnostics).
-func (p *softCachePolicy) CacheSize() int { return p.cache.Capacity() }
+// RequestCapacity implements CapacityControlled: publish a capacity target
+// the owning thread applies at its next outermost FASE end. Safe from any
+// goroutine. Requests coalesce — only the newest unapplied one wins.
+func (p *softCachePolicy) RequestCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p.pending.Store(int64(capacity))
+}
+
+// CacheSize implements CapacityControlled: the capacity currently in
+// effect. Safe for concurrent readers.
+func (p *softCachePolicy) CacheSize() int { return int(p.capacity.Load()) }

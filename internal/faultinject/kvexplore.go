@@ -43,7 +43,21 @@ type KVOptions struct {
 	// enumeration stays deterministic: hand-off, per-batch and epoch
 	// boundaries join the site space.
 	Pipeline bool
+	// ResizeEvery, when positive, requests a write-cache resize on every
+	// shard before each ResizeEvery-th sequential op, cycling the
+	// capacities of resizeCycle. Requests are issued between acked ops —
+	// the shard writers are idle — so each is applied at the next FASE end,
+	// before that FASE's drain: the shrink evictions it forces become
+	// ordinary FlushLine crash sites, enumerated deterministically, and the
+	// sweep proves a crash mid-resize loses no acked write. Requires a
+	// policy implementing core.CapacityControlled (the soft caches).
+	ResizeEvery int
 }
+
+// resizeCycle is the capacity schedule ResizeEvery steps through: a hard
+// shrink to 1 (maximal evictions at the apply point), a growth to 50 (the
+// knee search's upper range), and a shrink to 2.
+var resizeCycle = []int{1, 50, 2}
 
 // DefaultKVOptions keeps the exhaustive sweep in the low hundreds of
 // sites: every site still gets its own crash run in well under a minute.
@@ -158,7 +172,15 @@ func kvSeqRun(o KVOptions, ops []kvOp, inj *Injector) (h *pmem.Heap, acked int, 
 	// the store's own setup.
 	inj.Enable()
 	defer inj.Disable()
-	for _, op := range ops {
+	for i, op := range ops {
+		if o.ResizeEvery > 0 && i%o.ResizeEvery == 0 {
+			c := resizeCycle[(i/o.ResizeEvery)%len(resizeCycle)]
+			for sh := 0; sh < o.Shards; sh++ {
+				if !st.RequestCacheResize(sh, c) {
+					return h, acked, fmt.Errorf("shard %d: policy %v cannot resize", sh, o.Policy)
+				}
+			}
+		}
 		var err error
 		if op.del {
 			_, err = st.Delete(op.key)

@@ -117,3 +117,62 @@ func TestExploreKVRandom(t *testing.T) {
 	}
 	t.Logf("%v", rep)
 }
+
+// TestExploreKVResize sweeps the resize-at-FASE-end seam: capacity requests
+// cycling shrink→grow→shrink are published between ops and applied at the
+// next FASE end before its drain, so the shrink's forced evictions are
+// enumerated as ordinary write-back sites. A crash at any of them — mid-
+// resize, with part of the evicted set persisted — must lose no acked write.
+func TestExploreKVResize(t *testing.T) {
+	o := DefaultKVOptions()
+	o.ResizeEvery = 2
+	if testing.Short() {
+		o.Ops, o.Keys = 7, 3
+	}
+	rep, err := ExploreKV(o)
+	if err != nil {
+		t.Fatalf("ExploreKV(resize): %v\nreport: %v", err, rep)
+	}
+	if rep.Crashes != rep.Sites || rep.Missed != 0 {
+		t.Errorf("sweep not exhaustive: %v", rep)
+	}
+	base, err := ExploreKV(func() KVOptions {
+		b := DefaultKVOptions()
+		if testing.Short() {
+			b.Ops, b.Keys = 7, 3
+		}
+		return b
+	}())
+	if err != nil {
+		t.Fatalf("ExploreKV(baseline): %v", err)
+	}
+	// The shrink to capacity 1 forces evictions the static run never pays,
+	// so resizing must widen the site space (new DrainLine boundaries).
+	if rep.Sites <= base.Sites {
+		t.Errorf("resizing enumerated %d sites, static %d — no resize-driven crash sites",
+			rep.Sites, base.Sites)
+	}
+	t.Logf("resize sweep %v vs static %v", rep, base)
+}
+
+// TestExploreKVResizePipeline runs the same resize schedule under the
+// overlapped commit protocol, where the FASE-end apply point races (in real
+// deployments) a draining predecessor epoch: in the synchronous-pipeline
+// enumeration every hand-off and epoch boundary around the resize is
+// crashed at and recovered from.
+func TestExploreKVResizePipeline(t *testing.T) {
+	o := DefaultKVOptions()
+	o.ResizeEvery = 2
+	o.Pipeline = true
+	if testing.Short() {
+		o.Ops, o.Keys = 7, 3
+	}
+	rep, err := ExploreKV(o)
+	if err != nil {
+		t.Fatalf("ExploreKV(resize, pipeline): %v\nreport: %v", err, rep)
+	}
+	if rep.Crashes != rep.Sites || rep.Missed != 0 {
+		t.Errorf("sweep not exhaustive: %v", rep)
+	}
+	t.Logf("%v", rep)
+}

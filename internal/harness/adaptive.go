@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nvmcache/internal/adaptive"
+	"nvmcache/internal/kv"
+	"nvmcache/internal/loadgen"
+	"nvmcache/internal/server"
+)
+
+// AdaptiveOptions configure the static-vs-adaptive comparison sweep.
+type AdaptiveOptions struct {
+	Rate    float64
+	Conns   int
+	Ops     int
+	Shards  int
+	Preload uint64
+	Seed    int64
+	// Interval is the controller's decision period; the sweep default is
+	// much shorter than the serving default so the loop gets many decisions
+	// within a smoke-scale run.
+	Interval time.Duration
+	// MemBudget caps the adaptive store's total write-cache lines (0 =
+	// per-shard knee only).
+	MemBudget int
+}
+
+// DefaultAdaptiveOptions keeps the sweep in smoke-test territory while
+// leaving the controller enough operations per phase to sample and react.
+func DefaultAdaptiveOptions() AdaptiveOptions {
+	return AdaptiveOptions{
+		Rate: 3000, Conns: 4, Ops: 18000, Shards: 4, Preload: 2048, Seed: 42,
+		Interval: 5 * time.Millisecond,
+	}
+}
+
+// adaptiveSchedule is the phase-changing workload the controller is judged
+// on: a hot-key phase (small working set, deep write combining), a uniform
+// phase (wide working set, little reuse), and a scan-heavy phase.
+const adaptiveSchedule = "zipf@1,uniform@1,scan@1"
+
+// AdaptiveRun is one server's half of the comparison.
+type AdaptiveRun struct {
+	Name      string
+	Report    *loadgen.Report
+	Gauges    []adaptive.ShardGauges
+	Decisions []adaptive.Decision
+}
+
+// AdaptiveResult is the paired sweep: the same open-loop phased schedule
+// against a static store and an adaptive one.
+type AdaptiveResult struct {
+	Opt      AdaptiveOptions
+	Schedule string
+	Static   AdaptiveRun
+	Adaptive AdaptiveRun
+}
+
+// AdaptiveSweep drives the phased schedule twice — against a fresh static
+// self-hosted nvserver (the default online-once policy) and against one
+// running the adaptive control plane — and captures per-phase latency,
+// server flush counters, and the adaptive run's capacity trajectory.
+func AdaptiveSweep(opt AdaptiveOptions) (*AdaptiveResult, error) {
+	res := &AdaptiveResult{Opt: opt, Schedule: adaptiveSchedule}
+	static, err := adaptiveRun(opt, false)
+	if err != nil {
+		return nil, fmt.Errorf("static run: %w", err)
+	}
+	res.Static = *static
+	adapt, err := adaptiveRun(opt, true)
+	if err != nil {
+		return nil, fmt.Errorf("adaptive run: %w", err)
+	}
+	res.Adaptive = *adapt
+	return res, nil
+}
+
+func adaptiveRun(opt AdaptiveOptions, adaptiveOn bool) (*AdaptiveRun, error) {
+	kvOpts := kv.DefaultOptions()
+	if opt.Shards > 0 {
+		kvOpts.Shards = opt.Shards
+	}
+	name := "static"
+	if adaptiveOn {
+		name = "adaptive"
+		cfg := adaptive.DefaultConfig()
+		cfg.Interval = opt.Interval
+		cfg.MemBudget = opt.MemBudget
+		// Short bursts re-sampled quickly: a smoke-scale run writes far
+		// fewer lines than a serving day, and every phase must be sampled.
+		cfg.BurstLength = 1024
+		cfg.Hibernation = 2048
+		kvOpts.Adaptive = cfg
+	}
+	srv, err := server.SelfHost(kvOpts, server.Options{})
+	if err != nil {
+		return nil, err
+	}
+	spec, err := loadgen.ParseDist(adaptiveSchedule, loadgen.DefaultSpec())
+	if err != nil {
+		srv.Shutdown()
+		return nil, err
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr:    srv.Addr().String(),
+		Rate:    opt.Rate,
+		Conns:   opt.Conns,
+		Ops:     opt.Ops,
+		Dist:    spec,
+		Seed:    opt.Seed,
+		Preload: opt.Preload,
+	})
+	run := &AdaptiveRun{Name: name, Report: rep}
+	if err == nil && adaptiveOn {
+		// Snapshot the control plane before shutdown tears the store down.
+		run.Gauges = srv.Store().AdaptiveGauges()
+		run.Decisions = srv.Store().AdaptiveDecisions()
+	}
+	srv.Shutdown()
+	if err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// flushRatio extracts the server-side flush ratio delta of a run.
+func flushRatio(rep *loadgen.Report) float64 {
+	flushes := rep.ServerDelta["total.flushes"]
+	ops := rep.ServerDelta["total.ops"]
+	if ops <= 0 {
+		return 0
+	}
+	return flushes / ops
+}
+
+// Table renders the per-phase comparison.
+func (r *AdaptiveResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("adaptive control plane vs static: %s at %.0f ops/s over %d conns",
+			r.Schedule, r.Opt.Rate, r.Opt.Conns),
+		Headers: []string{"phase", "static p50", "static p99", "adaptive p50", "adaptive p99"},
+		Notes: []string{
+			"latency measured from intended send time (coordinated-omission aware)",
+			fmt.Sprintf("flush ratio (flushes/op over the whole run): static=%.3f adaptive=%.3f",
+				flushRatio(r.Static.Report), flushRatio(r.Adaptive.Report)),
+		},
+	}
+	us := func(d time.Duration) string { return fmt.Sprintf("%.0fus", float64(d)/1e3) }
+	sh, ah := r.Static.Report.PhaseHists, r.Adaptive.Report.PhaseHists
+	for i := range sh {
+		t.AddRow(r.Static.Report.PhaseNames[i],
+			us(sh[i].Quantile(0.50)), us(sh[i].Quantile(0.99)),
+			us(ah[i].Quantile(0.50)), us(ah[i].Quantile(0.99)))
+	}
+	t.AddRow("all",
+		us(r.Static.Report.Hist.Quantile(0.50)), us(r.Static.Report.Hist.Quantile(0.99)),
+		us(r.Adaptive.Report.Hist.Quantile(0.50)), us(r.Adaptive.Report.Hist.Quantile(0.99)))
+	return t
+}
+
+// TrajectoryTable renders the adaptive run's control decisions: per shard,
+// the capacity path the controller walked (the convergence evidence the
+// artifact persists) and the final gauges.
+func (r *AdaptiveResult) TrajectoryTable() *Table {
+	t := &Table{
+		Title:   "adaptive capacity trajectory (per shard: requested capacities in decision order)",
+		Headers: []string{"shard", "final cap", "resizes", "sampled lines", "capacity path"},
+	}
+	paths := make([][]string, len(r.Adaptive.Gauges))
+	for _, d := range r.Adaptive.Decisions {
+		if d.Resized && d.Shard < len(paths) {
+			paths[d.Shard] = append(paths[d.Shard], fmt.Sprintf("%d", d.Capacity))
+		}
+	}
+	for i, g := range r.Adaptive.Gauges {
+		path := strings.Join(paths[i], "→")
+		if path == "" {
+			path = "(no resizes)"
+		}
+		t.AddRow(fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", g.Capacity),
+			fmt.Sprintf("%d", g.Resizes),
+			fmt.Sprintf("%d", g.Sampled),
+			path)
+	}
+	return t
+}

@@ -1,0 +1,48 @@
+package harness
+
+import "testing"
+
+// TestAdaptiveSweepSmoke runs the static-vs-adaptive comparison at a tiny
+// scale and checks the pieces the nvbench artifact depends on: per-phase
+// histograms on both runs, control-plane activity (sampling, at least one
+// resize somewhere) on the adaptive one, and renderable tables.
+func TestAdaptiveSweepSmoke(t *testing.T) {
+	opt := DefaultAdaptiveOptions()
+	opt.Ops = 3000
+	opt.Preload = 512
+	r, err := AdaptiveSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []*AdaptiveRun{&r.Static, &r.Adaptive} {
+		if got := len(run.Report.PhaseHists); got != 3 {
+			t.Fatalf("%s run has %d phase histograms, want 3", run.Name, got)
+		}
+		if run.Report.Completed == 0 || run.Report.Errors > 0 {
+			t.Fatalf("%s run: completed=%d errors=%d", run.Name, run.Report.Completed, run.Report.Errors)
+		}
+	}
+	if len(r.Adaptive.Gauges) != opt.Shards {
+		t.Fatalf("adaptive run has %d gauges, want %d", len(r.Adaptive.Gauges), opt.Shards)
+	}
+	sampled, resizes := int64(0), int64(0)
+	for _, g := range r.Adaptive.Gauges {
+		sampled += g.Sampled
+		resizes += g.Resizes
+	}
+	if sampled == 0 {
+		t.Error("adaptive run sampled no lines")
+	}
+	if resizes == 0 {
+		t.Error("adaptive run never resized (no decisions recorded in the trajectory)")
+	}
+	if resizes > 0 && len(r.Adaptive.Decisions) == 0 {
+		t.Error("resizes counted but no decisions retained")
+	}
+	if tb := r.Table(); len(tb.Rows) != 4 {
+		t.Errorf("comparison table has %d rows, want 4 (3 phases + all)", len(tb.Rows))
+	}
+	if tb := r.TrajectoryTable(); len(tb.Rows) != opt.Shards {
+		t.Errorf("trajectory table has %d rows, want %d", len(tb.Rows), opt.Shards)
+	}
+}

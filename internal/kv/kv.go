@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nvmcache/internal/adaptive"
 	"nvmcache/internal/atlas"
 	"nvmcache/internal/core"
 	"nvmcache/internal/mdb"
@@ -73,6 +74,14 @@ type Options struct {
 	// while batch N drains in the background; acks still wait for
 	// durability (settle), only the wait moves off the apply path.
 	Pipeline core.PipelineConfig
+	// Adaptive, when Enabled, runs the online control plane
+	// (internal/adaptive): per-shard samplers tap the store stream, and a
+	// periodic controller retargets each shard's write-cache capacity from
+	// its live miss-ratio curve and retunes the group-commit bounds and
+	// flush-pipeline depth from observed counters. Policy is forced to
+	// SoftCacheOffline so the external controller solely owns cache sizing
+	// (the policy's own one-shot sampler stays out of the loop).
+	Adaptive adaptive.Config
 	// CrashBeforeCommit is a failure-injection hook: when it returns true
 	// the writer simulates a power failure in the middle of its FASE —
 	// after the batch's stores, before the commit — so the whole store
@@ -132,6 +141,10 @@ func (o Options) withDefaults() Options {
 	if o.LogEntries <= 0 {
 		o.LogEntries = d.LogEntries
 	}
+	if o.Adaptive.Enabled {
+		o.Adaptive = o.Adaptive.WithDefaults()
+		o.Policy = core.SoftCacheOffline
+	}
 	return o
 }
 
@@ -181,6 +194,10 @@ type Store struct {
 	opts   Options
 	shards []*shard
 
+	// Adaptive control plane (nil unless Options.Adaptive.Enabled).
+	taps []*adaptive.Tap
+	ctrl *adaptive.Controller
+
 	crashing  atomic.Bool
 	crashCh   chan struct{} // closed when a crash begins
 	crashDone chan struct{} // closed when the crash has fully taken effect
@@ -189,11 +206,20 @@ type Store struct {
 	state int
 }
 
-func runtimeOptions(o Options) atlas.Options {
+func runtimeOptions(o Options, taps []*adaptive.Tap) atlas.Options {
 	// Trace recording is always off: a serving store runs indefinitely and
 	// per-store trace buffers grow without bound.
-	return atlas.Options{Policy: o.Policy, Config: o.Config, LogEntries: o.LogEntries, DisableTrace: true,
+	ro := atlas.Options{Policy: o.Policy, Config: o.Config, LogEntries: o.LogEntries, DisableTrace: true,
 		WrapSink: o.WrapSink, UndoHook: o.UndoHook, Pipeline: o.Pipeline}
+	if taps != nil {
+		ro.StoreTap = func(thread int32) core.StoreTap {
+			if int(thread) < len(taps) {
+				return taps[thread]
+			}
+			return nil // a thread beyond the shard set stays untapped
+		}
+	}
+	return ro
 }
 
 // Open creates a new store in an empty heap: a shard directory (shard
@@ -204,13 +230,14 @@ func Open(heap *pmem.Heap, opts Options) (*Store, error) {
 	if heap.Root() != 0 {
 		return nil, errors.New("kv: heap already holds a store; use Recover")
 	}
-	rt := atlas.NewRuntime(heap, runtimeOptions(opts))
+	taps := initAdaptive(opts)
+	rt := atlas.NewRuntime(heap, runtimeOptions(opts, taps))
 	dir, err := heap.AllocLines(uint64(8 + 8*opts.Shards))
 	if err != nil {
 		return nil, fmt.Errorf("kv: allocating shard directory: %w", err)
 	}
 	heap.WriteUint64(dir, uint64(opts.Shards))
-	s := &Store{heap: heap, rt: rt, opts: opts,
+	s := &Store{heap: heap, rt: rt, opts: opts, taps: taps,
 		crashCh: make(chan struct{}), crashDone: make(chan struct{})}
 	for i := 0; i < opts.Shards; i++ {
 		th, err := rt.NewThread()
@@ -249,8 +276,9 @@ func Recover(heap *pmem.Heap, opts Options) (*Store, atlas.RecoveryReport, error
 		return nil, rep, fmt.Errorf("kv: corrupt shard directory (%d shards)", n)
 	}
 	opts.Shards = int(n)
-	rt := atlas.NewRuntime(heap, runtimeOptions(opts))
-	s := &Store{heap: heap, rt: rt, opts: opts,
+	taps := initAdaptive(opts)
+	rt := atlas.NewRuntime(heap, runtimeOptions(opts, taps))
+	s := &Store{heap: heap, rt: rt, opts: opts, taps: taps,
 		crashCh: make(chan struct{}), crashDone: make(chan struct{})}
 	for i := 0; i < opts.Shards; i++ {
 		th, err := rt.NewThread()
@@ -271,6 +299,7 @@ func (s *Store) start() {
 	for _, sh := range s.shards {
 		go sh.run()
 	}
+	s.startAdaptive()
 }
 
 // Shards returns the shard count.
@@ -476,6 +505,7 @@ func (s *Store) Close() error {
 	for _, sh := range s.shards {
 		<-sh.done
 	}
+	s.stopAdaptive()
 	if s.crashing.Load() {
 		return ErrCrashed
 	}
@@ -513,6 +543,10 @@ func (s *Store) initiateCrash(except *shard) error {
 			<-sh.done
 		}
 	}
+	// The controller's targets are published atomically and applied only at
+	// writer safe points, so it cannot corrupt the quiescing heap; stop it
+	// anyway so no decision loop outlives the store.
+	s.stopAdaptive()
 	s.mu.Lock()
 	s.state = stateCrashed
 	s.heap.Crash()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nvmcache/internal/atlas"
@@ -62,6 +63,13 @@ type shard struct {
 	ch   chan request
 	done chan struct{} // closed when the writer goroutine exits
 
+	// maxBatch/maxDelayNs are the live group-commit bounds, initialized from
+	// Options and retargeted at runtime by the adaptive controller
+	// (shardControl.SetBatchBounds); the writer reads them once per gather,
+	// so a new bound takes effect at the next batch.
+	maxBatch   atomic.Int64
+	maxDelayNs atomic.Int64
+
 	// inFlight is the previous batch, commit-published but not settled
 	// (awaited, installed for readers, acked). Non-nil only between loop
 	// iterations of the overlapped protocol. Writer goroutine only.
@@ -86,6 +94,8 @@ func newShard(s *Store, id int, th *atlas.Thread, db *mdb.DB) *shard {
 		done:   make(chan struct{}),
 		active: make(map[uint64]int),
 	}
+	sh.maxBatch.Store(int64(s.opts.MaxBatch))
+	sh.maxDelayNs.Store(int64(s.opts.MaxDelay))
 	sh.curRoot = db.Snapshot()
 	sh.curGen = db.Generation()
 	db.SetFreeHook(sh.onFreed)
@@ -209,14 +219,15 @@ func (sh *shard) run() {
 // is full, when MaxDelay has passed since the batch opened, or when the
 // store is shutting down or crashing.
 func (sh *shard) gather(first request) []request {
-	batch := make([]request, 1, sh.st.opts.MaxBatch)
+	maxBatch := int(sh.maxBatch.Load())
+	batch := make([]request, 1, maxBatch)
 	batch[0] = first
-	if sh.st.opts.MaxBatch <= 1 {
+	if maxBatch <= 1 {
 		return batch
 	}
-	timer := time.NewTimer(sh.st.opts.MaxDelay)
+	timer := time.NewTimer(time.Duration(sh.maxDelayNs.Load()))
 	defer timer.Stop()
-	for len(batch) < sh.st.opts.MaxBatch {
+	for len(batch) < maxBatch {
 		select {
 		case r, ok := <-sh.ch:
 			if !ok {
@@ -237,9 +248,10 @@ func (sh *shard) gather(first request) []request {
 // queued — blocking on MaxDelay here would hold back the in-flight batch's
 // acks for no benefit.
 func (sh *shard) gatherQueued(first request) []request {
-	batch := make([]request, 1, sh.st.opts.MaxBatch)
+	maxBatch := int(sh.maxBatch.Load())
+	batch := make([]request, 1, maxBatch)
 	batch[0] = first
-	for len(batch) < sh.st.opts.MaxBatch {
+	for len(batch) < maxBatch {
 		select {
 		case r, ok := <-sh.ch:
 			if !ok {

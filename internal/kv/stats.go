@@ -128,6 +128,13 @@ type ShardStats struct {
 	PipeEpochs, PipeDepthMax                  int64
 	PipeStalls, PipeStallNanos                int64
 	PipeAwaitNanos                            int64
+	// Adaptive control-plane gauges (all zero when Options.Adaptive is
+	// disabled): the write-cache capacity currently in effect, the sequence
+	// number of the shard's newest control decision, capacity retargets
+	// requested so far, and total line writes recorded into completed
+	// sampling bursts.
+	AdaptiveCap, AdaptiveLast       int64
+	AdaptiveResizes, AdaptiveSample int64
 }
 
 // AvgBatch returns the mean committed batch size.
@@ -160,6 +167,10 @@ func (st ShardStats) FlushRatio() float64 {
 func (st ShardStats) Pairs() []string {
 	pairs := []string{
 		fmt.Sprintf("aborts=%d", st.Aborts),
+		fmt.Sprintf("adaptive_cap=%d", st.AdaptiveCap),
+		fmt.Sprintf("adaptive_last=%d", st.AdaptiveLast),
+		fmt.Sprintf("adaptive_resizes=%d", st.AdaptiveResizes),
+		fmt.Sprintf("adaptive_sampled=%d", st.AdaptiveSample),
 		fmt.Sprintf("avg_batch=%.2f", st.AvgBatch()),
 		fmt.Sprintf("batches=%d", st.Batches),
 		fmt.Sprintf("commit_p50_cyc=%.0f", st.CommitP50),
@@ -218,6 +229,13 @@ func (sh *shard) stats() ShardStats {
 		PipeStalls:     sh.pipeStalls.Load(),
 		PipeStallNanos: sh.pipeStallNs.Load(),
 		PipeAwaitNanos: sh.pipeAwaitNs.Load(),
+	}
+	if ctrl := sh.st.ctrl; ctrl != nil {
+		g := ctrl.Gauges(sh.id)
+		st.AdaptiveCap = g.Capacity
+		st.AdaptiveLast = g.LastSeq
+		st.AdaptiveResizes = g.Resizes
+		st.AdaptiveSample = g.Sampled
 	}
 	sh.latMu.Lock()
 	lats := append([]float64(nil), sh.lats...)
@@ -290,6 +308,12 @@ func Totals(stats []ShardStats) ShardStats {
 		}
 		if st.PipeDepthMax > t.PipeDepthMax {
 			t.PipeDepthMax = st.PipeDepthMax
+		}
+		t.AdaptiveCap += st.AdaptiveCap
+		t.AdaptiveResizes += st.AdaptiveResizes
+		t.AdaptiveSample += st.AdaptiveSample
+		if st.AdaptiveLast > t.AdaptiveLast {
+			t.AdaptiveLast = st.AdaptiveLast
 		}
 		t.CommitP50 = math.Max(t.CommitP50, st.CommitP50)
 		t.CommitP99 = math.Max(t.CommitP99, st.CommitP99)

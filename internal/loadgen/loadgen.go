@@ -87,6 +87,14 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// PhaseReporter is implemented by generators that switch distribution
+// mid-run (the phased schedules): Phase reports the index of the phase the
+// most recent Next drew from, letting the driver attribute each operation's
+// latency to the phase that issued it.
+type PhaseReporter interface {
+	Phase() int
+}
+
 // Report is one finished run.
 type Report struct {
 	Config    Config
@@ -95,6 +103,13 @@ type Report struct {
 	Completed int64
 	Errors    int64
 	Timeouts  int64
+	// PhaseHists split Hist by schedule phase for phased distributions
+	// (nil otherwise); PhaseNames aligns with it. The per-phase tails are
+	// what the adaptive experiments compare: an aggregate p99 averages the
+	// phases together and hides exactly the transition the controller is
+	// supposed to win.
+	PhaseHists []*Histogram
+	PhaseNames []string
 	// Elapsed is wall time from the schedule's start to the last reply —
 	// under a stall it exceeds the scheduled Duration (the backlog drains
 	// late rather than being forgotten).
@@ -127,12 +142,21 @@ func (r *Report) ErrorFrac() float64 {
 // connState is one connection's tally; the sender and reader goroutines
 // share it (reader owns hist/completed/errors, sender owns sent).
 type connState struct {
-	hist      Histogram
-	sent      int64
-	completed int64
-	errors    int64
-	timeouts  int64
-	failed    atomic.Bool // reader died; sender stops scheduling
+	hist       Histogram
+	phaseHists []Histogram // per-phase split, empty for single-phase runs
+	sent       int64
+	completed  int64
+	errors     int64
+	timeouts   int64
+	failed     atomic.Bool // reader died; sender stops scheduling
+}
+
+// pendingOp is what the sender hands the reader per scheduled operation:
+// the intended send time the latency is measured from, and the schedule
+// phase the operation belongs to (-1 outside phased runs).
+type pendingOp struct {
+	intended time.Time
+	phase    int
 }
 
 // startGrace is how far in the future the common schedule origin is
@@ -180,11 +204,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	origin := time.Now().Add(startGrace)
 
+	nphases := len(cfg.Dist.Phases)
 	states := make([]*connState, cfg.Conns)
 	var wg sync.WaitGroup
 	dialErrs := make(chan error, cfg.Conns)
 	for c := 0; c < cfg.Conns; c++ {
-		st := &connState{}
+		st := &connState{phaseHists: make([]Histogram, nphases)}
 		states[c] = st
 		gen, err := cfg.Dist.Generator(c, perConn, cfg.Seed)
 		if err != nil {
@@ -223,8 +248,19 @@ func Run(cfg Config) (*Report, error) {
 		StatsAfter:  after,
 		ServerDelta: after.Diff(before),
 	}
+	if nphases > 0 {
+		rep.PhaseHists = make([]*Histogram, nphases)
+		rep.PhaseNames = make([]string, nphases)
+		for i, p := range cfg.Dist.Phases {
+			rep.PhaseHists[i] = &Histogram{}
+			rep.PhaseNames[i] = p.Spec.Kind
+		}
+	}
 	for _, st := range states {
 		rep.Hist.Merge(&st.hist)
+		for i := range st.phaseHists {
+			rep.PhaseHists[i].Merge(&st.phaseHists[i])
+		}
 		rep.Sent += st.sent
 		rep.Completed += st.completed
 		rep.Errors += st.errors
@@ -243,12 +279,12 @@ func Run(cfg Config) (*Report, error) {
 // to every operation scheduled during it.
 func runConn(cl *nvclient.Client, gen Generator, st *connState,
 	start time.Time, interval time.Duration, n int, timeout time.Duration) {
-	inflight := make(chan time.Time, 1<<15)
+	inflight := make(chan pendingOp, 1<<15)
 	var reader sync.WaitGroup
 	reader.Add(1)
 	go func() {
 		defer reader.Done()
-		for intended := range inflight {
+		for p := range inflight {
 			cl.SetReadDeadline(time.Now().Add(timeout))
 			reply, err := cl.Recv()
 			if err != nil {
@@ -270,11 +306,16 @@ func runConn(cl *nvclient.Client, gen Generator, st *connState,
 				st.errors++
 				continue
 			}
-			st.hist.Record(time.Since(intended))
+			lat := time.Since(p.intended)
+			st.hist.Record(lat)
+			if p.phase >= 0 && p.phase < len(st.phaseHists) {
+				st.phaseHists[p.phase].Record(lat)
+			}
 			st.completed++
 		}
 	}()
 
+	pr, _ := gen.(PhaseReporter)
 	unflushed := 0
 	for i := 0; i < n && !st.failed.Load(); i++ {
 		intended := start.Add(time.Duration(i) * interval)
@@ -285,7 +326,12 @@ func runConn(cl *nvclient.Client, gen Generator, st *connState,
 		if d := time.Until(intended); d > 0 {
 			time.Sleep(d)
 		}
-		if err := cl.Send(gen.Next().Line()); err != nil {
+		op := gen.Next()
+		phase := -1
+		if pr != nil {
+			phase = pr.Phase() // the phase Next just drew from
+		}
+		if err := cl.Send(op.Line()); err != nil {
 			st.errors++
 			break
 		}
@@ -301,7 +347,7 @@ func runConn(cl *nvclient.Client, gen Generator, st *connState,
 			}
 			unflushed = 0
 		}
-		inflight <- intended
+		inflight <- pendingOp{intended: intended, phase: phase}
 	}
 	cl.Flush()
 	close(inflight)

@@ -183,3 +183,74 @@ func TestConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestRunPhasedSplitsHistograms checks the v1.1 per-phase breakdown: a
+// phased schedule yields one sub-histogram per phase, they partition the
+// aggregate exactly, and the persisted artifact carries (and validates) the
+// per-phase percentiles.
+func TestRunPhasedSplitsHistograms(t *testing.T) {
+	srv := selfHost(t, server.Options{})
+	cfg := testConfig(srv.Addr().String())
+	base := DefaultSpec()
+	base.Keys = 256
+	spec, err := ParseDist("zipf@2,uniform@1,scan@1", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dist = spec
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PhaseHists) != 3 || len(rep.PhaseNames) != 3 {
+		t.Fatalf("got %d phase hists / %d names, want 3", len(rep.PhaseHists), len(rep.PhaseNames))
+	}
+	wantNames := []string{"zipf", "uniform", "scan"}
+	var inPhases int64
+	for i, h := range rep.PhaseHists {
+		if rep.PhaseNames[i] != wantNames[i] {
+			t.Errorf("phase %d named %q, want %q", i, rep.PhaseNames[i], wantNames[i])
+		}
+		if h.Count() == 0 {
+			t.Errorf("phase %d (%s) recorded nothing", i, rep.PhaseNames[i])
+		}
+		inPhases += h.Count()
+	}
+	if inPhases != rep.Completed {
+		t.Fatalf("phase histograms hold %d, completed %d", inPhases, rep.Completed)
+	}
+	// The first phase owns ~half the schedule (2 of 4 weight units).
+	if frac := float64(rep.PhaseHists[0].Count()) / float64(rep.Completed); frac < 0.4 || frac > 0.6 {
+		t.Errorf("zipf phase holds %.2f of the run, want ~0.5", frac)
+	}
+
+	b := rep.Bench("test_phased")
+	if len(b.Phases) != 3 {
+		t.Fatalf("artifact carries %d phases, want 3", len(b.Phases))
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("artifact validation: %v", err)
+	}
+}
+
+// TestRunUnphasedHasNoPhases pins the single-phase artifact shape: no
+// phase split, and validation does not demand one.
+func TestRunUnphasedHasNoPhases(t *testing.T) {
+	srv := selfHost(t, server.Options{})
+	cfg := testConfig(srv.Addr().String())
+	cfg.Ops = 400
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PhaseHists != nil || rep.PhaseNames != nil {
+		t.Fatalf("unphased run grew phase hists: %v", rep.PhaseNames)
+	}
+	b := rep.Bench("test_unphased")
+	if b.Phases != nil {
+		t.Fatalf("unphased artifact carries phases: %v", b.Phases)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,11 +16,28 @@ import (
 // form the repository's perf trajectory.
 type Bench struct {
 	benchfmt.Meta
-	Config  BenchConfig        `json:"config"`
-	Metrics BenchMetrics       `json:"metrics"`
-	Buckets []HistBucket       `json:"histogram"`
-	SLO     *SLOResult         `json:"slo,omitempty"`
-	Server  map[string]float64 `json:"server_delta,omitempty"`
+	Config  BenchConfig  `json:"config"`
+	Metrics BenchMetrics `json:"metrics"`
+	Buckets []HistBucket `json:"histogram"`
+	// Phases is the per-phase latency breakdown of phased schedules
+	// (schema v1.1; absent for single-phase runs and in v1 artifacts): the
+	// aggregate histogram split by the phase each operation was issued in,
+	// so a distribution shift's transient — the thing adaptive sizing is
+	// judged on — is not averaged away.
+	Phases []PhaseMetrics     `json:"phases,omitempty"`
+	SLO    *SLOResult         `json:"slo,omitempty"`
+	Server map[string]float64 `json:"server_delta,omitempty"`
+}
+
+// PhaseMetrics is one schedule phase's share of the run.
+type PhaseMetrics struct {
+	Name      string  `json:"name"`
+	Completed int64   `json:"completed"`
+	MeanUS    float64 `json:"mean_us"`
+	P50US     float64 `json:"p50_us"`
+	P90US     float64 `json:"p90_us"`
+	P99US     float64 `json:"p99_us"`
+	MaxUS     float64 `json:"max_us"`
 }
 
 // BenchConfig is the workload as JSON, with units in the field names.
@@ -59,6 +76,18 @@ func us(d time.Duration) float64 { return float64(d) / 1e3 }
 // Bench converts a report into its persisted artifact, stamping the
 // benchfmt envelope (schema, time, git state) for experiment id exp.
 func (r *Report) Bench(exp string) *Bench {
+	var phases []PhaseMetrics
+	for i, h := range r.PhaseHists {
+		phases = append(phases, PhaseMetrics{
+			Name:      r.PhaseNames[i],
+			Completed: h.Count(),
+			MeanUS:    us(h.Mean()),
+			P50US:     us(h.Quantile(0.50)),
+			P90US:     us(h.Quantile(0.90)),
+			P99US:     us(h.Quantile(0.99)),
+			MaxUS:     us(h.Max()),
+		})
+	}
 	return &Bench{
 		Meta: benchfmt.NewMeta(exp),
 		Config: BenchConfig{
@@ -89,6 +118,7 @@ func (r *Report) Bench(exp string) *Bench {
 			MaxUS:         us(r.Hist.Max()),
 		},
 		Buckets: r.Hist.Buckets(),
+		Phases:  phases,
 		SLO:     r.SLO,
 		Server:  r.ServerDelta,
 	}
@@ -132,6 +162,26 @@ func (b *Bench) Validate() error {
 	if inBuckets != m.Completed {
 		return fmt.Errorf("bench: histogram holds %d observations, completed=%d",
 			inBuckets, m.Completed)
+	}
+	if len(b.Phases) > 0 {
+		var inPhases int64
+		for i, p := range b.Phases {
+			if p.Name == "" {
+				return fmt.Errorf("bench: phases[%d] has no name", i)
+			}
+			if p.Completed < 0 {
+				return fmt.Errorf("bench: phases[%d] completed %d", i, p.Completed)
+			}
+			if p.Completed > 0 && !(p.P50US <= p.P90US && p.P90US <= p.P99US && p.P99US <= p.MaxUS) {
+				return fmt.Errorf("bench: phases[%d] percentiles not monotone: p50=%.1f p90=%.1f p99=%.1f max=%.1f",
+					i, p.P50US, p.P90US, p.P99US, p.MaxUS)
+			}
+			inPhases += p.Completed
+		}
+		if inPhases != m.Completed {
+			return fmt.Errorf("bench: phases hold %d observations, completed=%d",
+				inPhases, m.Completed)
+		}
 	}
 	if m.Completed > 0 {
 		if !(m.P50US <= m.P90US && m.P90US <= m.P99US && m.P99US <= m.P999US && m.P999US <= m.MaxUS) {

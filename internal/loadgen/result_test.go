@@ -129,3 +129,20 @@ func TestWriteBenchRefusesInvalid(t *testing.T) {
 		t.Fatal("file exists after refused write")
 	}
 }
+
+// TestBenchAcceptsV1Schema pins backward compatibility: artifacts stamped
+// with the v1 envelope (no phases field) still read and validate, so -check
+// keeps working against checked-in baselines from before the bump.
+func TestBenchAcceptsV1Schema(t *testing.T) {
+	rep := sampleReport(t)
+	b := rep.Bench("compat")
+	b.Schema = "nvmcache-bench/v1"
+	b.Phases = nil
+	if err := b.Validate(); err != nil {
+		t.Fatalf("v1 artifact rejected: %v", err)
+	}
+	b.Schema = "nvmcache-bench/v0"
+	if err := b.Validate(); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
