@@ -8,7 +8,8 @@
 // Usage:
 //
 //	nvload -addr host:port [-rate 5000] [-conns 4] [-duration 10s | -ops N]
-//	       [-dist uniform|zipf|churn|scan|kind@frac,kind@frac,...]
+//	       [-dist uniform|zipf|churn|scan|incr|kind@frac,kind@frac,...]
+//	       [-mix put:2,get:2,incr:1,...]
 //	       [-keys N] [-skew S] [-read-frac F] [-scan-len N] [-preload N]
 //	       [-slo-p99 5ms] [-slo-p999 20ms] [-slo-min-tput 1000] [-slo-max-err 0.01]
 //	       [-out BENCH_x.json] [-exp name]
@@ -39,11 +40,15 @@ func main() {
 		adapt      = flag.Bool("adaptive", false, "selfhost: run the online adaptive control plane (live MRC-driven cache, batch and pipeline sizing)")
 		adaptEvery = flag.Duration("adaptive-interval", 100*time.Millisecond, "selfhost: adaptive decision period")
 		memBudget  = flag.Int("mem-budget", 0, "selfhost: cap on total adaptive write-cache lines across shards (0 = per-shard knee only)")
+		absorb     = flag.Bool("absorb", false, "selfhost: enable logical write absorption (counter accumulator + same-key coalescing)")
+		absorbThr  = flag.Int("absorb-threshold", 0, "selfhost: parked counter deltas that force an accumulator commit (0 = default)")
+		absorbDl   = flag.Duration("absorb-deadline", 0, "selfhost: max time an acked counter delta may sit volatile (0 = default)")
 		rate       = flag.Float64("rate", 5000, "aggregate arrival rate, ops/sec (open loop)")
 		conns      = flag.Int("conns", 4, "connection count the rate is spread across")
 		duration   = flag.Duration("duration", 0, "length of the arrival schedule")
 		ops        = flag.Int("ops", 0, "total operation count (alternative to -duration)")
-		dist       = flag.String("dist", "uniform", "distribution: uniform, zipf, churn, scan, or a kind@frac,... phase schedule")
+		dist       = flag.String("dist", "uniform", "distribution: uniform, zipf, churn, scan, incr, or a kind@frac,... phase schedule")
+		mix        = flag.String("mix", "", "weighted verb mix (verb:weight,... over get,put,del,incr,decr,scan); overrides -dist")
 		keys       = flag.Uint64("keys", 1<<16, "keyspace size (churn: live-window size)")
 		skew       = flag.Float64("skew", 1.1, "zipf skew parameter (>1)")
 		readFrac   = flag.Float64("read-frac", 0.5, "GET fraction (scan: SCAN fraction)")
@@ -86,6 +91,13 @@ func main() {
 			cfg.MemBudget = *memBudget
 			kvOpts.Adaptive = cfg
 		}
+		if *absorb {
+			kvOpts.Absorb = kv.AbsorbConfig{
+				Enabled:   true,
+				Threshold: *absorbThr,
+				Deadline:  *absorbDl,
+			}
+		}
 		srv, err := server.SelfHost(kvOpts, server.Options{})
 		if err != nil {
 			fatal(err)
@@ -96,7 +108,13 @@ func main() {
 	}
 
 	base := loadgen.Spec{Keys: *keys, Skew: *skew, ReadFrac: *readFrac, ScanLen: *scanLen}
-	spec, err := loadgen.ParseDist(*dist, base)
+	var spec loadgen.Spec
+	var err error
+	if *mix != "" {
+		spec, err = loadgen.ParseMix(*mix, base)
+	} else {
+		spec, err = loadgen.ParseDist(*dist, base)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -155,6 +173,11 @@ func printReport(r *loadgen.Report) {
 		fmt.Printf("server: ops=%.0f puts=%.0f gets=%.0f dels=%.0f scans=%.0f flush_ratio_pts=%.3f stripe_contended=%.0f\n",
 			d["total.ops"], d["total.puts"], d["total.gets"], d["total.dels"], d["total.scans"],
 			d["total.flush_ratio"], d["stripes.contended"])
+		if ctr := d["total.incrs"] + d["total.decrs"]; ctr > 0 {
+			fmt.Printf("absorb: incrs=%.0f decrs=%.0f absorbed=%.0f committed=%.0f\n",
+				d["total.incrs"], d["total.decrs"],
+				d["total.absorbed_ops"], d["total.committed_ops"])
+		}
 	}
 	if r.SLO != nil {
 		fmt.Println(r.SLO.String())

@@ -14,6 +14,7 @@ type fakeShard struct {
 	maxBatch int
 	maxDelay time.Duration
 	depth    int
+	absorbDl time.Duration
 	cnt      Counters
 	resizes  int
 }
@@ -24,9 +25,11 @@ func (f *fakeShard) BatchBounds() (int, time.Duration) { return f.maxBatch, f.ma
 func (f *fakeShard) SetBatchBounds(mb int, md time.Duration) {
 	f.maxBatch, f.maxDelay = mb, md
 }
-func (f *fakeShard) PipeDepth() int     { return f.depth }
-func (f *fakeShard) SetPipeDepth(d int) { f.depth = d }
-func (f *fakeShard) Counters() Counters { return f.cnt }
+func (f *fakeShard) PipeDepth() int                    { return f.depth }
+func (f *fakeShard) SetPipeDepth(d int)                { f.depth = d }
+func (f *fakeShard) AbsorbDeadline() time.Duration     { return f.absorbDl }
+func (f *fakeShard) SetAbsorbDeadline(d time.Duration) { f.absorbDl = d }
+func (f *fakeShard) Counters() Counters                { return f.cnt }
 
 func testConfig() Config {
 	cfg := DefaultConfig()
@@ -225,6 +228,66 @@ func TestControllerDepthAdaptation(t *testing.T) {
 	c2.Tick()
 	if sh2.depth != 0 {
 		t.Errorf("pipeline-less shard got depth %d", sh2.depth)
+	}
+}
+
+func TestControllerAbsorbAdaptation(t *testing.T) {
+	cfg := testConfig()
+	sh := &fakeShard{cap: 8, maxBatch: 64, maxDelay: 2 * time.Millisecond, absorbDl: time.Millisecond}
+	tap := NewTap(cfg.BurstLength, cfg.Hibernation)
+	c := NewController(cfg, []*Tap{tap}, []Shard{sh})
+
+	// Counter traffic that commits almost entirely unabsorbed: the
+	// accumulator flushes before coalescing pays → the deadline doubles.
+	sh.cnt.CounterOps += 100
+	sh.cnt.Committed += 99
+	sh.cnt.Absorbed += 1
+	c.Tick()
+	if sh.absorbDl != 2*time.Millisecond {
+		t.Errorf("deadline after unabsorbed counters = %v, want 2ms", sh.absorbDl)
+	}
+	// Repeated low-ratio ticks saturate at MaxAbsorbDeadline.
+	for i := 0; i < 6; i++ {
+		sh.cnt.CounterOps += 100
+		sh.cnt.Committed += 100
+		c.Tick()
+	}
+	if sh.absorbDl != cfg.MaxAbsorbDeadline {
+		t.Errorf("deadline after low-ratio streak = %v, want cap %v", sh.absorbDl, cfg.MaxAbsorbDeadline)
+	}
+	// Saturated absorption: most acked ops folded away → the deadline walks
+	// back down to MinAbsorbDeadline.
+	for i := 0; i < 8; i++ {
+		sh.cnt.CounterOps += 100
+		sh.cnt.Absorbed += 90
+		sh.cnt.Committed += 10
+		c.Tick()
+	}
+	if sh.absorbDl != cfg.MinAbsorbDeadline {
+		t.Errorf("deadline after saturated absorption = %v, want floor %v", sh.absorbDl, cfg.MinAbsorbDeadline)
+	}
+	last := c.Decisions()[len(c.Decisions())-1]
+	if last.AbsorbDeadline != cfg.MinAbsorbDeadline {
+		t.Errorf("decision AbsorbDeadline = %v, want %v", last.AbsorbDeadline, cfg.MinAbsorbDeadline)
+	}
+
+	// Without counter traffic a low ratio must not lengthen the deadline
+	// (pure PUT/DEL load gains nothing from parking time).
+	sh2 := &fakeShard{cap: 8, maxBatch: 64, maxDelay: 2 * time.Millisecond, absorbDl: time.Millisecond}
+	c2 := NewController(cfg, []*Tap{NewTap(cfg.BurstLength, cfg.Hibernation)}, []Shard{sh2})
+	sh2.cnt.Committed += 100
+	c2.Tick()
+	if sh2.absorbDl != time.Millisecond {
+		t.Errorf("counter-free shard's deadline moved to %v", sh2.absorbDl)
+	}
+	// An absorption-off shard (deadline 0) is untouched.
+	sh3 := &fakeShard{cap: 8, maxBatch: 64, maxDelay: 2 * time.Millisecond}
+	c3 := NewController(cfg, []*Tap{NewTap(cfg.BurstLength, cfg.Hibernation)}, []Shard{sh3})
+	sh3.cnt.CounterOps += 100
+	sh3.cnt.Committed += 100
+	c3.Tick()
+	if sh3.absorbDl != 0 {
+		t.Errorf("absorption-off shard got deadline %v", sh3.absorbDl)
 	}
 }
 

@@ -46,6 +46,15 @@ type Config struct {
 	// The pipeline additionally clamps to its ring capacity. MaxDepth 0
 	// disables depth adaptation. Shards without a pipeline are unaffected.
 	MinDepth, MaxDepth int
+	// MinAbsorbDeadline/MaxAbsorbDeadline bound the absorption-deadline
+	// adaptation, the controller's fourth actuator: a low absorbed/committed
+	// ratio under counter traffic means parked ops commit before enough
+	// coalescing accrues (double the deadline, admitting more ack latency
+	// for more absorption); a high ratio means absorption saturates and the
+	// deadline is shortened back toward MinAbsorbDeadline to cut deferred-ack
+	// latency. MaxAbsorbDeadline 0 disables the rule. Shards with absorption
+	// off are unaffected.
+	MinAbsorbDeadline, MaxAbsorbDeadline time.Duration
 }
 
 // DefaultConfig returns an enabled configuration with serving-scale
@@ -66,6 +75,9 @@ func DefaultConfig() Config {
 		MaxDelay:    8 * time.Millisecond,
 		MinDepth:    64,
 		MaxDepth:    1024,
+
+		MinAbsorbDeadline: 500 * time.Microsecond,
+		MaxAbsorbDeadline: 8 * time.Millisecond,
 	}
 }
 
@@ -100,6 +112,9 @@ func (c Config) WithDefaults() Config {
 	if c.MinDepth <= 0 {
 		c.MinDepth = d.MinDepth
 	}
+	if c.MinAbsorbDeadline <= 0 {
+		c.MinAbsorbDeadline = d.MinAbsorbDeadline
+	}
 	return c
 }
 
@@ -117,6 +132,11 @@ type Shard interface {
 	// the shard has no pipeline (SetPipeDepth is then a no-op).
 	PipeDepth() int
 	SetPipeDepth(depth int)
+	// AbsorbDeadline returns how long a counter op may park in the shard's
+	// absorption accumulator before its net delta commits, or 0 when
+	// absorption is off (SetAbsorbDeadline is then a no-op).
+	AbsorbDeadline() time.Duration
+	SetAbsorbDeadline(d time.Duration)
 	Counters() Counters
 }
 
@@ -129,6 +149,12 @@ type Counters struct {
 	// PipeStalls counts flush-pipeline backpressure events (mutator blocked
 	// on a full ring).
 	PipeStalls int64
+	// Absorbed/Committed split the acked mutations by whether a physical
+	// write of their own reached the FASE; their ratio over a tick is the
+	// absorption rule's input. CounterOps (incrs + decrs) gates the rule's
+	// lengthening side: without counter traffic a longer park deadline
+	// cannot buy anything.
+	Absorbed, Committed, CounterOps uint64
 }
 
 // Decision is one per-shard control action, recorded for the capacity
@@ -146,6 +172,7 @@ type Decision struct {
 	MaxBatch                  int
 	MaxDelay                  time.Duration
 	PipeDepth                 int
+	AbsorbDeadline            time.Duration
 	// Resized reports whether the decision actually requested a resize.
 	Resized bool
 }
@@ -310,7 +337,8 @@ func (c *Controller) Tick() {
 		}
 		batchChanged := c.adaptBatch(i, sh)
 		depthChanged := c.adaptDepth(i, sh)
-		if fresh[i] || resized || batchChanged || depthChanged {
+		absorbChanged := c.adaptAbsorb(i, sh)
+		if fresh[i] || resized || batchChanged || depthChanged || absorbChanged {
 			c.record(i, sh, profiles[i], raw[i], resized)
 		}
 	}
@@ -395,17 +423,61 @@ func (c *Controller) adaptDepth(i int, sh Shard) bool {
 	return true
 }
 
+// adaptAbsorb retargets shard i's absorption deadline from the tick's
+// absorbed/committed split: counter traffic that commits mostly
+// unabsorbed means the accumulator is flushed before coalescing pays —
+// double the park deadline, trading bounded ack latency for fewer FASEs —
+// while a saturated absorption ratio walks the deadline back down so
+// deferred acks stay as fresh as the load allows.
+func (c *Controller) adaptAbsorb(i int, sh Shard) bool {
+	if c.cfg.MaxAbsorbDeadline <= 0 {
+		return false
+	}
+	dl := sh.AbsorbDeadline()
+	if dl <= 0 {
+		return false
+	}
+	cnt := sh.Counters()
+	dAbs := cnt.Absorbed - c.prev[i].Absorbed
+	dCom := cnt.Committed - c.prev[i].Committed
+	dCtr := cnt.CounterOps - c.prev[i].CounterOps
+	c.prev[i].Absorbed, c.prev[i].Committed, c.prev[i].CounterOps =
+		cnt.Absorbed, cnt.Committed, cnt.CounterOps
+	total := dAbs + dCom
+	if total == 0 {
+		return false
+	}
+	ratio := float64(dAbs) / float64(total)
+	nd := dl
+	switch {
+	case ratio < 0.125 && dCtr > 0:
+		if nd = dl * 2; nd > c.cfg.MaxAbsorbDeadline {
+			nd = c.cfg.MaxAbsorbDeadline
+		}
+	case ratio > 0.5:
+		if nd = dl / 2; nd < c.cfg.MinAbsorbDeadline {
+			nd = c.cfg.MinAbsorbDeadline
+		}
+	}
+	if nd == dl {
+		return false
+	}
+	sh.SetAbsorbDeadline(nd)
+	return true
+}
+
 // record appends one trajectory entry and updates the gauges.
 func (c *Controller) record(i int, sh Shard, p *locality.Profile, rawTarget int, resized bool) {
 	mb, md := sh.BatchBounds()
 	d := Decision{
-		Shard:     i,
-		Capacity:  c.want[i],
-		Target:    rawTarget,
-		MaxBatch:  mb,
-		MaxDelay:  md,
-		PipeDepth: sh.PipeDepth(),
-		Resized:   resized,
+		Shard:          i,
+		Capacity:       c.want[i],
+		Target:         rawTarget,
+		MaxBatch:       mb,
+		MaxDelay:       md,
+		PipeDepth:      sh.PipeDepth(),
+		AbsorbDeadline: sh.AbsorbDeadline(),
+		Resized:        resized,
 	}
 	if p != nil {
 		d.Miss = p.MRC.At(c.want[i])

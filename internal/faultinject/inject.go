@@ -72,6 +72,20 @@ const (
 	// after its lines landed but before the epoch is marked persisted — the
 	// window where an awaiter must not yet have been released.
 	KindPipeEpoch
+	// KindAbsorbMerge is one counter op folding into kv's volatile
+	// absorption accumulator during batch planning; nothing is durable yet,
+	// so a crash here must leave the op nacked with no trace on the heap.
+	KindAbsorbMerge
+	// KindAbsorbThreshold is a threshold-triggered accumulator commit,
+	// before its net-delta FASE begins.
+	KindAbsorbThreshold
+	// KindAbsorbDeadline is a deadline-triggered (or shutdown-drain)
+	// accumulator commit, before its net-delta FASE begins.
+	KindAbsorbDeadline
+	// KindAbsorbAck sits between an absorbed commit's durability and the
+	// delivery of the parked counter acks — like KindAck, a crash here
+	// loses acks but must lose no data.
+	KindAbsorbAck
 
 	numKinds
 )
@@ -101,6 +115,14 @@ func (k Kind) String() string {
 		return "pipe-batch"
 	case KindPipeEpoch:
 		return "pipe-epoch"
+	case KindAbsorbMerge:
+		return "absorb-merge"
+	case KindAbsorbThreshold:
+		return "absorb-threshold"
+	case KindAbsorbDeadline:
+		return "absorb-deadline"
+	case KindAbsorbAck:
+		return "absorb-ack"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

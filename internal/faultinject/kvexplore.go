@@ -43,6 +43,20 @@ type KVOptions struct {
 	// enumeration stays deterministic: hand-off, per-batch and epoch
 	// boundaries join the site space.
 	Pipeline bool
+	// Absorb runs the store under kv's logical write-absorption layer
+	// (same-key batch coalescing plus the counter accumulator), adding the
+	// four absorption boundaries — merge, threshold commit, deadline
+	// commit, absorb ack — to the site space. AbsorbThreshold and
+	// AbsorbDeadline pass through to kv.AbsorbConfig: threshold 1 folds
+	// every counter op into its own commit (threshold sites); a large
+	// threshold with a short deadline parks each op until the shard's
+	// deadline timer commits it (deadline sites). Either shape keeps the
+	// blocking sequential workload's site enumeration deterministic — the
+	// boundary sequence per op is the same whether the fold happens at
+	// plan time or at the timer.
+	Absorb          bool
+	AbsorbThreshold int
+	AbsorbDeadline  time.Duration
 	// ResizeEvery, when positive, requests a write-cache resize on every
 	// shard before each ResizeEvery-th sequential op, cycling the
 	// capacities of resizeCycle. Requests are issued between acked ops —
@@ -108,6 +122,13 @@ func (o KVOptions) storeOptions(inj *Injector) kv.Options {
 	if o.Pipeline {
 		ko.Pipeline = pipelineConfig(true, inj)
 	}
+	if o.Absorb {
+		ko.Absorb = kv.AbsorbConfig{
+			Enabled:   true,
+			Threshold: o.AbsorbThreshold,
+			Deadline:  o.AbsorbDeadline,
+		}
+	}
 	if inj != nil {
 		ko.WrapSink = func(id int32, s core.FlushSink) core.FlushSink {
 			s = inj.WrapSink(id, s)
@@ -118,37 +139,84 @@ func (o KVOptions) storeOptions(inj *Injector) kv.Options {
 		}
 		ko.UndoHook = inj.UndoHook()
 		ko.AckHook = func(int) { inj.AckPoint() }
+		ko.AbsorbHook = inj.AbsorbHook()
 		ko.IsInjectedCrash = IsCrash
 	}
 	return ko
 }
 
-type kvOp struct {
-	del bool
-	key uint64
-	val uint64
+// AbsorbHook has the shape of kv Options.AbsorbHook, numbering the
+// absorption layer's boundaries as injection sites. It lives here rather
+// than inject.go because it is the one injector seam that speaks kv's
+// vocabulary.
+func (in *Injector) AbsorbHook() func(kv.AbsorbOp) {
+	return func(op kv.AbsorbOp) {
+		switch op {
+		case kv.AbsorbMerge:
+			in.Point(KindAbsorbMerge)
+		case kv.AbsorbThresholdCommit:
+			in.Point(KindAbsorbThreshold)
+		case kv.AbsorbDeadlineCommit:
+			in.Point(KindAbsorbDeadline)
+		case kv.AbsorbAck:
+			in.Point(KindAbsorbAck)
+		}
+	}
 }
 
+type kvOpKind uint8
+
+const (
+	kvPut kvOpKind = iota
+	kvDel
+	kvIncr
+	kvDecr
+)
+
+type kvOp struct {
+	kind kvOpKind
+	key  uint64
+	val  uint64 // put: value; incr/decr: delta
+}
+
+// exhaustiveOps builds the deterministic sequential workload: puts cycling
+// a narrow key space (so undo logging restores real old values), a delete
+// every fifth op, and a counter op (incr or decr) every fourth — with
+// absorption off these take the read-modify-write path inside the FASE,
+// with absorption on they park in the accumulator and commit as net
+// deltas, putting every absorption boundary into the site space.
 func exhaustiveOps(o KVOptions) []kvOp {
 	ops := make([]kvOp, o.Ops)
 	for i := range ops {
 		key := uint64(i % o.Keys)
-		if (i+1)%5 == 0 {
-			ops[i] = kvOp{del: true, key: key}
-		} else {
-			ops[i] = kvOp{key: key, val: 0xBEE5_0000 + uint64(i) + 1}
+		switch {
+		case (i+1)%5 == 0:
+			ops[i] = kvOp{kind: kvDel, key: key}
+		case i%4 == 2 && i%8 == 2:
+			ops[i] = kvOp{kind: kvIncr, key: key, val: uint64(i) + 3}
+		case i%4 == 2:
+			ops[i] = kvOp{kind: kvDecr, key: key, val: uint64(i) + 1}
+		default:
+			ops[i] = kvOp{kind: kvPut, key: key, val: 0xBEE5_0000 + uint64(i) + 1}
 		}
 	}
 	return ops
 }
 
-// applyOps computes the expected key→value state after ops[:n].
+// applyOps computes the expected key→value state after ops[:n], with kv's
+// counter semantics: wrapping uint64 arithmetic, missing keys counting
+// from zero (an incr/decr always leaves its key present).
 func applyOps(ops []kvOp, n int) map[uint64]uint64 {
 	m := make(map[uint64]uint64)
 	for _, op := range ops[:n] {
-		if op.del {
+		switch op.kind {
+		case kvDel:
 			delete(m, op.key)
-		} else {
+		case kvIncr:
+			m[op.key] += op.val
+		case kvDecr:
+			m[op.key] -= op.val
+		default:
 			m[op.key] = op.val
 		}
 	}
@@ -182,9 +250,14 @@ func kvSeqRun(o KVOptions, ops []kvOp, inj *Injector) (h *pmem.Heap, acked int, 
 			}
 		}
 		var err error
-		if op.del {
+		switch op.kind {
+		case kvDel:
 			_, err = st.Delete(op.key)
-		} else {
+		case kvIncr:
+			_, err = st.Incr(op.key, op.val)
+		case kvDecr:
+			_, err = st.Decr(op.key, op.val)
+		default:
 			err = st.Put(op.key, op.val)
 		}
 		switch {
@@ -221,9 +294,13 @@ func recoverAndVerifyKV(o KVOptions, h *pmem.Heap, ops []kvOp, acked int, crash 
 	}
 	checks++
 	visible := acked
-	if crash.Kind == KindAck && acked < len(ops) {
+	if (crash.Kind == KindAck || crash.Kind == KindAbsorbAck) && acked < len(ops) {
 		// The nacked op's batch committed durably before the ack boundary
-		// crashed: it must be visible, exactly once, untorn.
+		// crashed: it must be visible, exactly once, untorn. KindAbsorbAck is
+		// the same boundary for an absorbed commit's parked counter acks; a
+		// net-null op acked without a FASE crosses KindAck too, and counting
+		// it visible is still exact because its net effect on the expected
+		// state is nothing.
 		visible = acked + 1
 	}
 	want := applyOps(ops, visible)
@@ -313,6 +390,10 @@ type keyWrites struct {
 	acked int
 }
 
+// counterKey is client c's private counter key, disjoint from its put
+// slots (keysPer stays far below 1<<16).
+func counterKey(c int) uint64 { return uint64(c)<<20 | 1<<16 }
+
 // ExploreKVRandom is the seeded randomized mode for long-running sweeps:
 // each run samples a concurrent schedule (clients, batch shape) and a
 // crash site from one PCG stream, so a failure reproduces exactly from the
@@ -390,6 +471,7 @@ func kvRandRun(o KVOptions, sched randSchedule, inj *Injector, workloadSeed uint
 	defer inj.Disable()
 
 	logs := make([][]keyWrites, sched.clients)
+	ctrs := make([]keyWrites, sched.clients)
 	var wg sync.WaitGroup
 	for c := 0; c < sched.clients; c++ {
 		keys := make([]keyWrites, sched.keysPer)
@@ -397,10 +479,33 @@ func kvRandRun(o KVOptions, sched randSchedule, inj *Injector, workloadSeed uint
 			keys[i].acked = -1
 		}
 		logs[c] = keys
+		ctrs[c].acked = -1
 		wg.Add(1)
 		go func(c int, crng *rand.Rand) {
 			defer wg.Done()
 			for i := 0; i < sched.opsPer; i++ {
+				if i%3 == 2 {
+					// Every third op increments the client's private counter
+					// key. Recording the running sums as the issued values
+					// makes the per-key prefix invariant below apply
+					// unchanged: each client has at most one op in flight, so
+					// a recovered counter is the last acked sum or its
+					// successor — with absorption on, the successor's delta
+					// may have parked in the accumulator and committed as a
+					// net delta (or been nacked with nothing durable).
+					kw := &ctrs[c]
+					d := 1 + uint64(crng.IntN(7))
+					var last uint64
+					if n := len(kw.vals); n > 0 {
+						last = kw.vals[n-1]
+					}
+					kw.vals = append(kw.vals, last+d)
+					if _, err := st.Incr(counterKey(c), d); err != nil {
+						return
+					}
+					kw.acked = len(kw.vals) - 1
+					continue
+				}
 				slot := crng.IntN(sched.keysPer)
 				key := uint64(c)<<20 | uint64(slot)
 				val := uint64(c)<<32 | uint64(i+1)
@@ -429,34 +534,37 @@ func kvRandRun(o KVOptions, sched randSchedule, inj *Injector, workloadSeed uint
 		return checks, rrep, err
 	}
 	checks++
+	checkKey := func(key uint64, kw *keyWrites) error {
+		got, found, err := st.Get(key)
+		if err != nil {
+			return err
+		}
+		if !found {
+			if kw.acked >= 0 {
+				return fmt.Errorf("key %#x absent but write %d was acked", key, kw.acked)
+			}
+			return nil
+		}
+		for i := max(kw.acked, 0); i < len(kw.vals); i++ {
+			if kw.vals[i] == got {
+				return nil
+			}
+		}
+		return fmt.Errorf("key %#x = %#x, not among writes ≥ last acked (%v, acked %d)",
+			key, got, kw.vals, kw.acked)
+	}
 	for c := range logs {
 		for slot := range logs[c] {
-			kw := &logs[c][slot]
 			key := uint64(c)<<20 | uint64(slot)
-			got, found, err := st.Get(key)
-			if err != nil {
+			if err := checkKey(key, &logs[c][slot]); err != nil {
 				return checks, rrep, err
-			}
-			if !found {
-				if kw.acked >= 0 {
-					return checks, rrep, fmt.Errorf("key %#x absent but write %d was acked", key, kw.acked)
-				}
-				checks++
-				continue
-			}
-			ok := false
-			for i := max(kw.acked, 0); i < len(kw.vals); i++ {
-				if kw.vals[i] == got {
-					ok = true
-					break
-				}
-			}
-			if !ok {
-				return checks, rrep, fmt.Errorf("key %#x = %#x, not among writes ≥ last acked (%v, acked %d)",
-					key, got, kw.vals, kw.acked)
 			}
 			checks++
 		}
+		if err := checkKey(counterKey(c), &ctrs[c]); err != nil {
+			return checks, rrep, err
+		}
+		checks++
 	}
 	if err := st.Close(); err != nil {
 		return checks, rrep, err

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"testing"
+	"time"
 )
 
 // TestExploreKVExhaustive is the acceptance property for the whole
@@ -78,6 +79,124 @@ func TestExploreKVRandomPipeline(t *testing.T) {
 	rep, err := ExploreKVRandom(o)
 	if err != nil {
 		t.Fatalf("ExploreKVRandom(pipeline) (reproduce with -faultinject.seed=%d): %v\nreport: %v", rep.Seed, err, rep)
+	}
+	if rep.Runs != o.Runs || rep.Crashes+rep.Missed != rep.Runs {
+		t.Errorf("run accounting broken: %v", rep)
+	}
+	t.Logf("%v", rep)
+}
+
+// TestExploreKVAbsorbThreshold is the exhaustive sweep for the logical
+// write-absorption layer in its threshold shape: AbsorbThreshold=1 folds
+// every counter op of the workload into its own net-delta commit, so the
+// site space gains the merge, threshold-commit and absorb-ack boundaries —
+// and every one of them, crashed at and recovered from, must lose no acked
+// op (an absorb-ack crash commits the nacked op untorn, like an ack
+// crash; a merge crash leaves nothing durable).
+func TestExploreKVAbsorbThreshold(t *testing.T) {
+	o := DefaultKVOptions()
+	o.Absorb = true
+	o.AbsorbThreshold = 1
+	o.AbsorbDeadline = time.Second
+	if testing.Short() {
+		o.Ops, o.Keys = 7, 3
+	}
+	rep, err := ExploreKV(o)
+	if err != nil {
+		t.Fatalf("ExploreKV(absorb, threshold): %v\nreport: %v", err, rep)
+	}
+	if rep.Crashes != rep.Sites || rep.Missed != 0 {
+		t.Errorf("sweep not exhaustive: %v", rep)
+	}
+	for _, k := range []Kind{KindAbsorbMerge, KindAbsorbThreshold, KindAbsorbAck,
+		KindUndoRecord, KindDrainLine, KindAck} {
+		if rep.Kinds[k] == 0 {
+			t.Errorf("no %v sites in the absorbed group-commit path: %v", k, rep)
+		}
+	}
+	t.Logf("%v", rep)
+}
+
+// TestExploreKVAbsorbDeadline is the same sweep in the deadline shape: an
+// unreachable threshold parks every counter op in the accumulator until
+// the shard's deadline timer forces the net-delta commit, so the deferred
+// ack path — park, timer wakeup, deadline-commit boundary, FASE, absorb
+// ack — is what gets crashed at. The enumeration stays deterministic even
+// if a slow run folds at plan time instead of at the timer: both paths
+// cross the same boundary sequence.
+func TestExploreKVAbsorbDeadline(t *testing.T) {
+	o := DefaultKVOptions()
+	o.Absorb = true
+	o.AbsorbThreshold = 1 << 20
+	o.AbsorbDeadline = 300 * time.Microsecond
+	if testing.Short() {
+		o.Ops, o.Keys = 7, 3
+	}
+	rep, err := ExploreKV(o)
+	if err != nil {
+		t.Fatalf("ExploreKV(absorb, deadline): %v\nreport: %v", err, rep)
+	}
+	if rep.Crashes != rep.Sites || rep.Missed != 0 {
+		t.Errorf("sweep not exhaustive: %v", rep)
+	}
+	for _, k := range []Kind{KindAbsorbMerge, KindAbsorbDeadline, KindAbsorbAck} {
+		if rep.Kinds[k] == 0 {
+			t.Errorf("no %v sites in the deadline-absorbed path: %v", k, rep)
+		}
+	}
+	if rep.Kinds[KindAbsorbThreshold] != 0 {
+		t.Errorf("threshold commits with an unreachable threshold: %v", rep)
+	}
+	t.Logf("%v", rep)
+}
+
+// TestExploreKVAbsorbPipeline stacks absorption on the overlapped commit
+// protocol: net-delta FASEs are published and settled like any batch, the
+// absorb-ack boundary moves into settle, and every site of the combined
+// space holds the service contract.
+func TestExploreKVAbsorbPipeline(t *testing.T) {
+	o := DefaultKVOptions()
+	o.Absorb = true
+	o.AbsorbThreshold = 1
+	o.AbsorbDeadline = time.Second
+	o.Pipeline = true
+	if testing.Short() {
+		o.Ops, o.Keys = 7, 3
+	}
+	rep, err := ExploreKV(o)
+	if err != nil {
+		t.Fatalf("ExploreKV(absorb, pipeline): %v\nreport: %v", err, rep)
+	}
+	if rep.Crashes != rep.Sites || rep.Missed != 0 {
+		t.Errorf("sweep not exhaustive: %v", rep)
+	}
+	for _, k := range []Kind{KindAbsorbMerge, KindAbsorbThreshold, KindAbsorbAck,
+		KindPipeEnqueue, KindPipeEpoch, KindAck} {
+		if rep.Kinds[k] == 0 {
+			t.Errorf("no %v sites in the absorbed pipelined path: %v", k, rep)
+		}
+	}
+	t.Logf("%v", rep)
+}
+
+// TestExploreKVRandomAbsorb runs the seeded concurrent mode with
+// absorption enabled: concurrent clients mixing puts and private-key
+// increments, a small threshold and a short deadline so both commit
+// triggers fire under load, crashes landing anywhere in the combined site
+// space — every recovered state must satisfy the per-key prefix invariant
+// for puts and counters alike.
+func TestExploreKVRandomAbsorb(t *testing.T) {
+	o := DefaultKVOptions()
+	o.Absorb = true
+	o.AbsorbThreshold = 2
+	o.AbsorbDeadline = 200 * time.Microsecond
+	o.Runs = 8
+	if testing.Short() {
+		o.Runs = 3
+	}
+	rep, err := ExploreKVRandom(o)
+	if err != nil {
+		t.Fatalf("ExploreKVRandom(absorb) (reproduce with -faultinject.seed=%d): %v\nreport: %v", rep.Seed, err, rep)
 	}
 	if rep.Runs != o.Runs || rep.Crashes+rep.Missed != rep.Runs {
 		t.Errorf("run accounting broken: %v", rep)

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"nvmcache/internal/kv"
+	"nvmcache/internal/loadgen"
+	"nvmcache/internal/server"
+)
+
+// AbsorbOptions configure the logical write-absorption comparison: the
+// same counter-heavy open-loop workload driven against a store with
+// absorption off and one with it on.
+type AbsorbOptions struct {
+	Rate   float64
+	Conns  int
+	Ops    int
+	Shards int
+	// Keys is the workload keyspace — narrow on purpose, so logical
+	// writes collide on the same keys and the absorption layer has net
+	// effects to fold (a wide keyspace would leave nothing to absorb).
+	Keys uint64
+	// Schedule is the phased distribution schedule (loadgen.ParseDist
+	// syntax); the default leads with a counter phase (accumulator
+	// commits, threshold- and deadline-triggered) and ends with a uniform
+	// put phase (same-key batch coalescing).
+	Schedule string
+	// Mix, when non-empty, overrides Schedule with a weighted verb mix
+	// (loadgen.ParseMix syntax).
+	Mix string
+	// Threshold and Deadline pass through to kv.AbsorbConfig for the
+	// absorbing run (0 = kv defaults). The defaults pair a low threshold
+	// with a deadline a few delta-interarrivals wide, so steady counter
+	// traffic forces threshold commits while lulls (and the phase switch)
+	// leave the deadline timer to drain the stragglers — both triggers in
+	// one run.
+	Threshold int
+	Deadline  time.Duration
+	Seed      int64
+}
+
+// DefaultAbsorbOptions keeps the comparison in smoke-test territory: a
+// counter-dominated phased schedule over 64 keys, ~4s of driving per run.
+func DefaultAbsorbOptions() AbsorbOptions {
+	return AbsorbOptions{
+		Rate: 800, Conns: 4, Ops: 8000, Shards: 4, Keys: 64,
+		Schedule:  "incr@3,uniform@1",
+		Threshold: 2,
+		Deadline:  25 * time.Millisecond,
+		Seed:      42,
+	}
+}
+
+// AbsorbRun is one half of the comparison, with the server's absorption
+// accounting deltas for the run: Issued counts the logical write ops the
+// server parsed, Committed the physical ops its FASEs executed, Absorbed
+// the logical ops folded away before any FASE.
+type AbsorbRun struct {
+	Name      string
+	Report    *loadgen.Report
+	Issued    float64
+	Committed float64
+	Absorbed  float64
+	// ThresholdCommits and DeadlineCommits split the absorbing run's
+	// accumulator commits by trigger.
+	ThresholdCommits float64
+	DeadlineCommits  float64
+}
+
+// Ratio is the run's absorbed fraction of logical writes.
+func (r *AbsorbRun) Ratio() float64 {
+	if t := r.Absorbed + r.Committed; t > 0 {
+		return r.Absorbed / t
+	}
+	return 0
+}
+
+// AbsorbResult is the paired sweep.
+type AbsorbResult struct {
+	Opt AbsorbOptions
+	Off AbsorbRun
+	On  AbsorbRun
+}
+
+// AbsorbSweep drives the counter-heavy mix twice — against a fresh
+// self-hosted nvserver with absorption off, then one with it on — and
+// captures each run's latency plus the server's absorption accounting.
+// With absorption on, the committed-op count must land strictly below the
+// issued logical writes: that gap is the work the accumulator and
+// same-key coalescing removed from the persistence path.
+func AbsorbSweep(opt AbsorbOptions) (*AbsorbResult, error) {
+	res := &AbsorbResult{Opt: opt}
+	off, err := absorbRun(opt, false)
+	if err != nil {
+		return nil, fmt.Errorf("absorb-off run: %w", err)
+	}
+	res.Off = *off
+	on, err := absorbRun(opt, true)
+	if err != nil {
+		return nil, fmt.Errorf("absorb-on run: %w", err)
+	}
+	res.On = *on
+	return res, nil
+}
+
+func absorbRun(opt AbsorbOptions, absorbOn bool) (*AbsorbRun, error) {
+	kvOpts := kv.DefaultOptions()
+	if opt.Shards > 0 {
+		kvOpts.Shards = opt.Shards
+	}
+	name := "absorb off"
+	if absorbOn {
+		name = "absorb on"
+		kvOpts.Absorb = kv.AbsorbConfig{
+			Enabled:   true,
+			Threshold: opt.Threshold,
+			Deadline:  opt.Deadline,
+		}
+	}
+	srv, err := server.SelfHost(kvOpts, server.Options{})
+	if err != nil {
+		return nil, err
+	}
+	base := loadgen.DefaultSpec()
+	base.Keys = opt.Keys
+	var spec loadgen.Spec
+	var err2 error
+	if opt.Mix != "" {
+		spec, err2 = loadgen.ParseMix(opt.Mix, base)
+	} else {
+		spec, err2 = loadgen.ParseDist(opt.Schedule, base)
+	}
+	if err2 != nil {
+		srv.Shutdown()
+		return nil, err2
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr:  srv.Addr().String(),
+		Rate:  opt.Rate,
+		Conns: opt.Conns,
+		Ops:   opt.Ops,
+		Dist:  spec,
+		Seed:  opt.Seed,
+	})
+	srv.Shutdown()
+	if err != nil {
+		return nil, err
+	}
+	d := rep.ServerDelta
+	return &AbsorbRun{
+		Name:             name,
+		Report:           rep,
+		Issued:           d["total.puts"] + d["total.dels"] + d["total.incrs"] + d["total.decrs"],
+		Committed:        d["total.committed_ops"],
+		Absorbed:         d["total.absorbed_ops"],
+		ThresholdCommits: d["total.absorb_commits_threshold"],
+		DeadlineCommits:  d["total.absorb_commits_deadline"],
+	}, nil
+}
+
+// Table renders the comparison; the ratio column is the artifact's
+// absorption evidence.
+func (r *AbsorbResult) Table() *Table {
+	workload := r.Opt.Mix
+	if workload == "" {
+		workload = r.Opt.Schedule
+	}
+	t := &Table{
+		Title: fmt.Sprintf("logical write absorption: %s over %d keys at %.0f ops/s",
+			workload, r.Opt.Keys, r.Opt.Rate),
+		Headers: []string{"run", "issued writes", "committed", "absorbed", "ratio", "ops/s", "p50", "p99"},
+		Notes: []string{
+			"issued = logical write ops the server parsed; committed = physical ops its FASEs executed",
+			"absorption folds same-key writes and counter deltas into net effects before group commit",
+			fmt.Sprintf("absorb-on accumulator commits by trigger: threshold=%.0f deadline=%.0f",
+				r.On.ThresholdCommits, r.On.DeadlineCommits),
+		},
+	}
+	us := func(d time.Duration) string { return fmt.Sprintf("%.0fus", float64(d)/1e3) }
+	for _, run := range []*AbsorbRun{&r.Off, &r.On} {
+		t.AddRow(run.Name,
+			fmt.Sprintf("%.0f", run.Issued),
+			fmt.Sprintf("%.0f", run.Committed),
+			fmt.Sprintf("%.0f", run.Absorbed),
+			fmt.Sprintf("%.3f", run.Ratio()),
+			fmt.Sprintf("%.0f", run.Report.Throughput()),
+			us(run.Report.Hist.Quantile(0.50)),
+			us(run.Report.Hist.Quantile(0.99)))
+	}
+	return t
+}

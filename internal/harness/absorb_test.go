@@ -1,0 +1,43 @@
+package harness
+
+import "testing"
+
+// TestAbsorbSweepSmoke runs the absorption comparison at a tiny scale and
+// checks the properties the nvbench artifact asserts: both runs complete
+// cleanly, the absorbing run's committed-op count lands strictly below
+// its issued logical writes (with a nonzero ratio), the non-absorbing run
+// folds nothing, and the table renders.
+func TestAbsorbSweepSmoke(t *testing.T) {
+	opt := DefaultAbsorbOptions()
+	opt.Ops = 4000
+	opt.Keys = 32
+	r, err := AbsorbSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []*AbsorbRun{&r.Off, &r.On} {
+		if run.Report.Completed == 0 || run.Report.Errors > 0 || run.Report.Timeouts > 0 {
+			t.Fatalf("%s: completed=%d errors=%d timeouts=%d",
+				run.Name, run.Report.Completed, run.Report.Errors, run.Report.Timeouts)
+		}
+		if run.Issued == 0 {
+			t.Fatalf("%s: no logical writes reached the server (%v)", run.Name, run.Report.ServerDelta)
+		}
+	}
+	if r.Off.Absorbed != 0 || r.Off.Ratio() != 0 {
+		t.Errorf("absorb-off run folded %v ops (ratio %.3f)", r.Off.Absorbed, r.Off.Ratio())
+	}
+	if r.On.Committed >= r.On.Issued {
+		t.Errorf("absorb-on run committed %v of %v issued writes — nothing absorbed",
+			r.On.Committed, r.On.Issued)
+	}
+	if r.On.Absorbed == 0 || r.On.Ratio() <= 0 {
+		t.Errorf("absorb-on run reports absorbed=%v ratio=%.3f", r.On.Absorbed, r.On.Ratio())
+	}
+	if r.On.ThresholdCommits+r.On.DeadlineCommits == 0 {
+		t.Error("absorb-on run recorded no accumulator commits (neither trigger fired)")
+	}
+	if tb := r.Table(); len(tb.Rows) != 2 {
+		t.Errorf("table has %d rows, want 2", len(tb.Rows))
+	}
+}

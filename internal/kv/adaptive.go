@@ -57,11 +57,28 @@ func (sc *shardControl) SetPipeDepth(depth int) {
 	}
 }
 
+func (sc *shardControl) AbsorbDeadline() time.Duration {
+	if !sc.sh.absorbOn() {
+		return 0
+	}
+	return time.Duration(sc.sh.absorbDeadlineNs.Load())
+}
+
+func (sc *shardControl) SetAbsorbDeadline(d time.Duration) {
+	if !sc.sh.absorbOn() || d <= 0 {
+		return
+	}
+	sc.sh.absorbDeadlineNs.Store(int64(d))
+}
+
 func (sc *shardControl) Counters() adaptive.Counters {
 	return adaptive.Counters{
 		Batches:    sc.sh.batches.Load(),
 		BatchedOps: sc.sh.batchedOps.Load(),
 		PipeStalls: sc.sh.pipeStalls.Load(),
+		Absorbed:   sc.sh.absorbed.Load(),
+		Committed:  sc.sh.committed.Load(),
+		CounterOps: sc.sh.incrs.Load() + sc.sh.decrs.Load(),
 	}
 }
 

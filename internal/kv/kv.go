@@ -82,6 +82,14 @@ type Options struct {
 	// SoftCacheOffline so the external controller solely owns cache sizing
 	// (the policy's own one-shot sampler stays out of the loop).
 	Adaptive adaptive.Config
+	// Absorb configures the logical write-absorption layer (absorb.go):
+	// same-key coalescing inside each batch's FASE plus the volatile
+	// counter accumulator behind Incr/Decr. Disabled by default.
+	Absorb AbsorbConfig
+	// AbsorbHook observes each absorption boundary crossing (merge,
+	// threshold commit, deadline commit, absorb ack) on the shard writer;
+	// internal/faultinject numbers them as crash-exploration sites.
+	AbsorbHook func(op AbsorbOp)
 	// CrashBeforeCommit is a failure-injection hook: when it returns true
 	// the writer simulates a power failure in the middle of its FASE —
 	// after the batch's stores, before the commit — so the whole store
@@ -145,6 +153,7 @@ func (o Options) withDefaults() Options {
 		o.Adaptive = o.Adaptive.WithDefaults()
 		o.Policy = core.SoftCacheOffline
 	}
+	o.Absorb = o.Absorb.withDefaults(o.MaxDelay)
 	return o
 }
 
@@ -382,6 +391,31 @@ func (s *Store) Delete(k uint64) (bool, error) {
 		return false, err
 	}
 	return res.found, res.err
+}
+
+// Incr durably adds d to k (wrapping uint64 arithmetic; a missing key
+// counts from zero) and returns the post-increment value computed at the
+// operation's serialization point. With absorption enabled the ack — and
+// so the return — may be deferred until the shard's accumulator commits
+// the key's net delta (threshold or deadline); the durability contract is
+// unchanged: a returned Incr survives any crash.
+func (s *Store) Incr(k, d uint64) (uint64, error) { return s.counterOp(opIncr, k, d) }
+
+// Decr durably subtracts d from k (wrapping; a missing key counts from
+// zero) and returns the post-decrement value, with Incr's ack semantics.
+func (s *Store) Decr(k, d uint64) (uint64, error) { return s.counterOp(opDecr, k, d) }
+
+func (s *Store) counterOp(op opKind, k, d uint64) (uint64, error) {
+	sh := s.shards[ShardIndex(k, len(s.shards))]
+	r := request{op: op, k: k, v: d, done: make(chan result, 1)}
+	if err := s.enqueue(sh, r); err != nil {
+		return 0, err
+	}
+	res, err := s.await(r.done)
+	if err != nil {
+		return 0, err
+	}
+	return res.val, res.err
 }
 
 // Get reads k from the shard's last committed snapshot, without entering

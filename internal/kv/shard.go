@@ -17,10 +17,13 @@ type opKind uint8
 const (
 	opPut opKind = iota
 	opDel
+	opIncr
+	opDecr
 )
 
 // request is one queued mutation; done (buffered, capacity 1) carries the
-// ack after the containing batch has committed and flushed.
+// ack after the containing batch has committed and flushed. For counter
+// ops v is the delta.
 type request struct {
 	op   opKind
 	k, v uint64
@@ -30,6 +33,7 @@ type request struct {
 type result struct {
 	err   error
 	found bool
+	val   uint64 // counter ops: the post-op value at the serialization point
 }
 
 // genPages are the pages superseded by the commit of generation gen; a
@@ -51,6 +55,8 @@ type flightBatch struct {
 	gen     uint64
 	pre     core.FlushStats // thread flush counters straddling the apply
 	post    core.FlushStats
+	applied int  // physical ops the FASE executed (absorption accounting)
+	fold    bool // parked counter ops ack with this batch (AbsorbAck boundary)
 }
 
 // shard is one engine: a COW B+-tree on its own atlas thread, mutated only
@@ -69,6 +75,12 @@ type shard struct {
 	// so a new bound takes effect at the next batch.
 	maxBatch   atomic.Int64
 	maxDelayNs atomic.Int64
+
+	// Absorption knobs (live, adaptive-retargetable like the bounds above)
+	// and the counter accumulator. acc is writer-goroutine-owned.
+	absorbThreshold  atomic.Int64
+	absorbDeadlineNs atomic.Int64
+	acc              accumulator
 
 	// inFlight is the previous batch, commit-published but not settled
 	// (awaited, installed for readers, acked). Non-nil only between loop
@@ -96,6 +108,8 @@ func newShard(s *Store, id int, th *atlas.Thread, db *mdb.DB) *shard {
 	}
 	sh.maxBatch.Store(int64(s.opts.MaxBatch))
 	sh.maxDelayNs.Store(int64(s.opts.MaxDelay))
+	sh.absorbThreshold.Store(int64(s.opts.Absorb.Threshold))
+	sh.absorbDeadlineNs.Store(int64(s.opts.Absorb.Deadline))
 	sh.curRoot = db.Snapshot()
 	sh.curGen = db.Generation()
 	db.SetFreeHook(sh.onFreed)
@@ -177,12 +191,19 @@ func (sh *shard) publishView(root, gen uint64) {
 // as the queue goes idle or its successor is published.
 func (sh *shard) run() {
 	defer close(sh.done)
+	// Parked counter requests survive loop iterations; if the writer exits
+	// with any still parked (crash paths — the graceful close drains the
+	// accumulator first), their deltas were never committed and nacking is
+	// exact.
+	defer sh.nackParked(ErrCrashed)
 	for {
 		if sh.inFlight != nil {
 			select {
 			case req, ok := <-sh.ch:
 				if !ok {
-					sh.settle()
+					if !sh.drainAbsorb() {
+						sh.settle()
+					}
 					return
 				}
 				batch := sh.gatherQueued(req)
@@ -200,16 +221,43 @@ func (sh *shard) run() {
 			}
 			continue
 		}
+		// With counter ops parked, wake at the absorption deadline so their
+		// net delta commits (and they ack) even if the queue stays idle.
+		var (
+			deadlineC <-chan time.Time
+			timer     *time.Timer
+		)
+		if sh.absorbOn() && sh.acc.pending() > 0 {
+			wait := time.Duration(sh.absorbDeadlineNs.Load()) - time.Since(sh.acc.opened)
+			if wait < 0 {
+				wait = 0
+			}
+			timer = time.NewTimer(wait)
+			deadlineC = timer.C
+		}
 		select {
 		case req, ok := <-sh.ch:
+			if timer != nil {
+				timer.Stop()
+			}
 			if !ok {
+				if !sh.drainAbsorb() {
+					sh.settle()
+				}
 				return
 			}
 			batch := sh.gather(req)
 			if sh.commitBatch(batch) {
 				return
 			}
+		case <-deadlineC:
+			if sh.commitBatch(nil) {
+				return
+			}
 		case <-sh.st.crashCh:
+			if timer != nil {
+				timer.Stop()
+			}
 			return
 		}
 	}
@@ -293,9 +341,39 @@ func (sh *shard) commitBatch(batch []request) (crashed bool) {
 		nackAll(batch, ErrCrashed)
 		return true
 	}
-	pre := sh.th.FlushStats()
 	results := make([]result, len(batch))
-	outcome, pc, failed := sh.applyBatch(batch, results)
+	var plan *commitPlan
+	if sh.absorbOn() {
+		// A nil batch is a deadline (or shutdown-drain) wakeup: force the
+		// accumulator out.
+		force := batch == nil
+		if sh.crashedDuring(func() { plan = sh.planCommit(batch, force) }) {
+			// Injected crash at a merge boundary: only volatile accumulator
+			// state was touched, nothing durable. Requests the partial plan
+			// already parked are nacked by run's deferred nackParked; nack
+			// the rest of the batch here (each request exactly once).
+			sh.st.initiateCrash(sh)
+			sh.dropInFlight()
+			parked := make(map[chan result]bool, sh.acc.pending())
+			for i := range sh.acc.parked {
+				parked[sh.acc.parked[i].done] = true
+			}
+			for i := range batch {
+				if !parked[batch[i].done] {
+					batch[i].done <- result{err: ErrCrashed}
+				}
+			}
+			return true
+		}
+		if len(plan.writes) == 0 {
+			// Every op this plan acks absorbed into nothing (and parked-only
+			// plans ack nobody): no FASE.
+			return sh.finishAbsorbed(plan)
+		}
+		batch, results = plan.acks, plan.results
+	}
+	pre := sh.th.FlushStats()
+	outcome, pc, failed := sh.applyBatch(batch, results, plan)
 	switch outcome {
 	case batchBeginErr, batchCommitErr:
 		nackAll(batch, failed)
@@ -324,6 +402,10 @@ func (sh *shard) commitBatch(batch []request) (crashed bool) {
 		return true
 	}
 	post := sh.th.FlushStats()
+	applied, fold := len(batch), false
+	if plan != nil {
+		applied, fold = len(plan.writes), plan.fold
+	}
 	if pc != nil {
 		// Overlapped commit: the batch is published and draining. Settle its
 		// predecessor (whose drain ran while this batch was applying), then
@@ -333,11 +415,12 @@ func (sh *shard) commitBatch(batch []request) (crashed bool) {
 			return true
 		}
 		sh.inFlight = &flightBatch{batch: batch, results: results, pc: pc,
-			root: sh.db.Snapshot(), gen: sh.db.Generation(), pre: pre, post: post}
+			root: sh.db.Snapshot(), gen: sh.db.Generation(), pre: pre, post: post,
+			applied: applied, fold: fold}
 		return false
 	}
 	sh.publish()
-	sh.note(batch, pre, post)
+	sh.note(batch, applied, pre, post)
 	for i := range batch {
 		batch[i].done <- results[i]
 	}
@@ -378,8 +461,16 @@ func (sh *shard) settle() (crashed bool) {
 			return true
 		}
 	}
+	if fb.fold {
+		// Same boundary, for the parked counter acks this commit carries.
+		if sh.crashedDuring(func() { sh.absorbHook(AbsorbAck) }) {
+			sh.st.initiateCrash(sh)
+			nackAll(fb.batch, ErrCrashed)
+			return true
+		}
+	}
 	sh.publishView(fb.root, fb.gen)
-	sh.note(fb.batch, fb.pre, fb.post)
+	sh.note(fb.batch, fb.applied, fb.pre, fb.post)
 	for i := range fb.batch {
 		fb.batch[i].done <- fb.results[i]
 	}
@@ -422,7 +513,7 @@ func (sh *shard) dropInFlight() {
 // inside a store, flush, or undo-log write — abandons the FASE with its
 // undo log still active, exactly as a power failure at that instruction
 // would; panics it does not claim propagate.
-func (sh *shard) applyBatch(batch []request, results []result) (outcome batchOutcome, pc *mdb.PendingCommit, err error) {
+func (sh *shard) applyBatch(batch []request, results []result, plan *commitPlan) (outcome batchOutcome, pc *mdb.PendingCommit, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			claim := sh.st.opts.IsInjectedCrash
@@ -432,20 +523,51 @@ func (sh *shard) applyBatch(batch []request, results []result) (outcome batchOut
 			outcome, pc, err = batchCrashInjected, nil, ErrCrashed
 		}
 	}()
+	if plan != nil && plan.hasTrig {
+		// Threshold/deadline accumulator commits announce themselves before
+		// the FASE begins; a crash here loses only parked (unacked) ops.
+		sh.absorbHook(plan.trigger)
+	}
 	if err := sh.db.Begin(); err != nil {
 		return batchBeginErr, nil, err
 	}
 	var failed error
-	for i := range batch {
-		r := &batch[i]
-		switch r.op {
-		case opPut:
-			failed = sh.db.Put(r.k, r.v)
-		case opDel:
-			results[i].found, failed = sh.db.Delete(r.k)
+	if plan != nil {
+		// Absorbed commit: results were precomputed by the serial planner;
+		// the FASE applies only the net write per touched key.
+		for _, w := range plan.writes {
+			if w.del {
+				_, failed = sh.db.Delete(w.k)
+			} else {
+				failed = sh.db.Put(w.k, w.v)
+			}
+			if failed != nil {
+				break
+			}
 		}
-		if failed != nil {
-			break
+	} else {
+		for i := range batch {
+			r := &batch[i]
+			switch r.op {
+			case opPut:
+				failed = sh.db.Put(r.k, r.v)
+			case opDel:
+				results[i].found, failed = sh.db.Delete(r.k)
+			case opIncr, opDecr:
+				// Absorption off: an ordinary read-modify-write inside the
+				// batch's FASE (Get sees the in-transaction tree, so earlier
+				// batch ops are visible).
+				d := r.v
+				if r.op == opDecr {
+					d = -d
+				}
+				cur, _ := sh.db.Get(r.k)
+				results[i].val = cur + d
+				failed = sh.db.Put(r.k, cur+d)
+			}
+			if failed != nil {
+				break
+			}
 		}
 	}
 	if failed != nil {
@@ -480,6 +602,10 @@ func (sh *shard) applyBatch(batch []request, results []result) (outcome batchOut
 		// The last crash boundary: the commit is durable but no requester
 		// has been told. A crash here must lose no data, only acks.
 		hook(sh.id)
+	}
+	if plan != nil && plan.fold {
+		// Same boundary, for the parked counter acks this commit carries.
+		sh.absorbHook(AbsorbAck)
 	}
 	return batchCommitted, nil, nil
 }

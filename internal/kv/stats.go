@@ -22,15 +22,23 @@ const latRingCap = 4096
 // thread's totals, published after each commit so observers never race the
 // mutating thread); gets is bumped by reader goroutines directly.
 type counters struct {
-	puts, dels    atomic.Uint64
-	gets          atomic.Uint64
-	scans         atomic.Uint64
-	batches       atomic.Uint64
-	batchedOps    atomic.Uint64
-	aborts        atomic.Uint64
-	flushAsync    atomic.Int64
-	flushDrained  atomic.Int64
-	flushBarriers atomic.Int64
+	puts, dels   atomic.Uint64
+	incrs, decrs atomic.Uint64
+	gets         atomic.Uint64
+	scans        atomic.Uint64
+	batches      atomic.Uint64
+	batchedOps   atomic.Uint64
+	aborts       atomic.Uint64
+
+	// Absorption accounting over acked mutations: committed is the
+	// physical op count the FASEs executed, absorbed the logical ops folded
+	// away before reaching one; absorbed+committed == acked mutations.
+	// The *C counters tally accumulator commits by trigger.
+	absorbed, committed               atomic.Uint64
+	absorbThresholdC, absorbDeadlineC atomic.Uint64
+	flushAsync                        atomic.Int64
+	flushDrained                      atomic.Int64
+	flushBarriers                     atomic.Int64
 
 	// Flush-pipeline snapshots (zero while the pipeline is disabled),
 	// published like the flush counters above. The snapshot is taken at the
@@ -49,21 +57,18 @@ type counters struct {
 	latNext int
 }
 
-// note records one committed batch: operation mix, flush-counter snapshot,
-// and the commit's drain latency in simulated cycles.
-func (sh *shard) note(batch []request, pre, post core.FlushStats) {
-	var nput, ndel uint64
-	for i := range batch {
-		if batch[i].op == opPut {
-			nput++
-		} else {
-			ndel++
-		}
-	}
-	sh.puts.Add(nput)
-	sh.dels.Add(ndel)
+// note records one committed batch: operation mix, absorption accounting
+// (applied is the physical op count the FASE executed; the remainder of
+// the batch was absorbed), flush-counter snapshot, and the commit's drain
+// latency in simulated cycles.
+func (sh *shard) note(batch []request, applied int, pre, post core.FlushStats) {
+	sh.noteOps(batch)
 	sh.batches.Add(1)
 	sh.batchedOps.Add(uint64(len(batch)))
+	sh.committed.Add(uint64(applied))
+	if n := len(batch) - applied; n > 0 {
+		sh.absorbed.Add(uint64(n))
+	}
 	sh.flushAsync.Store(post.Async)
 	sh.flushDrained.Store(post.Drained)
 	sh.flushBarriers.Store(post.Barriers)
@@ -76,6 +81,28 @@ func (sh *shard) note(batch []request, pre, post core.FlushStats) {
 	sh.pipeStallNs.Store(post.PipeStallNanos)
 	sh.pipeAwaitNs.Store(post.PipeAwaitNanos)
 	sh.recordLatency(commitCycles(post.Drained - pre.Drained))
+}
+
+// noteOps counts acked operations by kind (shared by the FASE and the
+// net-null no-FASE ack paths).
+func (sh *shard) noteOps(batch []request) {
+	var nput, ndel, nincr, ndecr uint64
+	for i := range batch {
+		switch batch[i].op {
+		case opPut:
+			nput++
+		case opDel:
+			ndel++
+		case opIncr:
+			nincr++
+		case opDecr:
+			ndecr++
+		}
+	}
+	sh.puts.Add(nput)
+	sh.dels.Add(ndel)
+	sh.incrs.Add(nincr)
+	sh.decrs.Add(ndecr)
 }
 
 func (sh *shard) recordLatency(cycles float64) {
@@ -108,8 +135,17 @@ type ShardStats struct {
 	Shard int
 	// Operation counts (committed mutations and served reads/scans).
 	Puts, Deletes, Gets, Scans uint64
+	// Counter mutations (acked Incr/Decr).
+	Incrs, Decrs uint64
 	// Group-commit shape.
 	Batches, BatchedOps uint64
+	// Absorption accounting: Committed physical ops executed by FASEs vs
+	// Absorbed logical ops folded away before reaching one
+	// (Absorbed+Committed == acked mutations), plus accumulator commits by
+	// trigger. All zero-ratio when Options.Absorb is disabled (Committed
+	// then equals the acked mutation count).
+	Absorbed, Committed                           uint64
+	AbsorbThresholdCommits, AbsorbDeadlineCommits uint64
 	// Aborted batches (shed load, e.g. pool exhaustion).
 	Aborts uint64
 	// Flush counters of the shard's persistence policy: async (overlapped,
@@ -145,6 +181,15 @@ func (st ShardStats) AvgBatch() float64 {
 	return float64(st.BatchedOps) / float64(st.Batches)
 }
 
+// AbsorbRatio returns the fraction of acked mutations absorbed before
+// reaching a FASE (0 with absorption off or no mutations yet).
+func (st ShardStats) AbsorbRatio() float64 {
+	if st.Absorbed+st.Committed == 0 {
+		return 0
+	}
+	return float64(st.Absorbed) / float64(st.Absorbed+st.Committed)
+}
+
 // Flushes returns all line flushes (async + drained).
 func (st ShardStats) Flushes() int64 { return st.AsyncFlushes + st.DrainedFlushes }
 
@@ -167,6 +212,13 @@ func (st ShardStats) FlushRatio() float64 {
 func (st ShardStats) Pairs() []string {
 	pairs := []string{
 		fmt.Sprintf("aborts=%d", st.Aborts),
+		fmt.Sprintf("absorb_commits_deadline=%d", st.AbsorbDeadlineCommits),
+		fmt.Sprintf("absorb_commits_threshold=%d", st.AbsorbThresholdCommits),
+		fmt.Sprintf("absorb_ratio=%.3f", st.AbsorbRatio()),
+		fmt.Sprintf("absorbed_ops=%d", st.Absorbed),
+		fmt.Sprintf("committed_ops=%d", st.Committed),
+		fmt.Sprintf("decrs=%d", st.Decrs),
+		fmt.Sprintf("incrs=%d", st.Incrs),
 		fmt.Sprintf("adaptive_cap=%d", st.AdaptiveCap),
 		fmt.Sprintf("adaptive_last=%d", st.AdaptiveLast),
 		fmt.Sprintf("adaptive_resizes=%d", st.AdaptiveResizes),
@@ -210,25 +262,32 @@ func (st ShardStats) String() string {
 
 func (sh *shard) stats() ShardStats {
 	st := ShardStats{
-		Shard:          sh.id,
-		Puts:           sh.puts.Load(),
-		Deletes:        sh.dels.Load(),
-		Gets:           sh.gets.Load(),
-		Scans:          sh.scans.Load(),
-		Batches:        sh.batches.Load(),
-		BatchedOps:     sh.batchedOps.Load(),
-		Aborts:         sh.aborts.Load(),
-		AsyncFlushes:   sh.flushAsync.Load(),
-		DrainedFlushes: sh.flushDrained.Load(),
-		Barriers:       sh.flushBarriers.Load(),
-		PipeBatches:    sh.pipeBatches.Load(),
-		PipeBatchLines: sh.pipeLines.Load(),
-		PipeBatchMax:   sh.pipeBatchMax.Load(),
-		PipeEpochs:     sh.pipeEpochs.Load(),
-		PipeDepthMax:   sh.pipeDepthMax.Load(),
-		PipeStalls:     sh.pipeStalls.Load(),
-		PipeStallNanos: sh.pipeStallNs.Load(),
-		PipeAwaitNanos: sh.pipeAwaitNs.Load(),
+		Shard:      sh.id,
+		Puts:       sh.puts.Load(),
+		Deletes:    sh.dels.Load(),
+		Incrs:      sh.incrs.Load(),
+		Decrs:      sh.decrs.Load(),
+		Gets:       sh.gets.Load(),
+		Scans:      sh.scans.Load(),
+		Batches:    sh.batches.Load(),
+		BatchedOps: sh.batchedOps.Load(),
+		Aborts:     sh.aborts.Load(),
+		Absorbed:   sh.absorbed.Load(),
+		Committed:  sh.committed.Load(),
+
+		AbsorbThresholdCommits: sh.absorbThresholdC.Load(),
+		AbsorbDeadlineCommits:  sh.absorbDeadlineC.Load(),
+		AsyncFlushes:           sh.flushAsync.Load(),
+		DrainedFlushes:         sh.flushDrained.Load(),
+		Barriers:               sh.flushBarriers.Load(),
+		PipeBatches:            sh.pipeBatches.Load(),
+		PipeBatchLines:         sh.pipeLines.Load(),
+		PipeBatchMax:           sh.pipeBatchMax.Load(),
+		PipeEpochs:             sh.pipeEpochs.Load(),
+		PipeDepthMax:           sh.pipeDepthMax.Load(),
+		PipeStalls:             sh.pipeStalls.Load(),
+		PipeStallNanos:         sh.pipeStallNs.Load(),
+		PipeAwaitNanos:         sh.pipeAwaitNs.Load(),
 	}
 	if ctrl := sh.st.ctrl; ctrl != nil {
 		g := ctrl.Gauges(sh.id)
@@ -289,11 +348,17 @@ func Totals(stats []ShardStats) ShardStats {
 	for _, st := range stats {
 		t.Puts += st.Puts
 		t.Deletes += st.Deletes
+		t.Incrs += st.Incrs
+		t.Decrs += st.Decrs
 		t.Gets += st.Gets
 		t.Scans += st.Scans
 		t.Batches += st.Batches
 		t.BatchedOps += st.BatchedOps
 		t.Aborts += st.Aborts
+		t.Absorbed += st.Absorbed
+		t.Committed += st.Committed
+		t.AbsorbThresholdCommits += st.AbsorbThresholdCommits
+		t.AbsorbDeadlineCommits += st.AbsorbDeadlineCommits
 		t.AsyncFlushes += st.AsyncFlushes
 		t.DrainedFlushes += st.DrainedFlushes
 		t.Barriers += st.Barriers

@@ -15,6 +15,8 @@ const (
 	OpPut
 	OpDel
 	OpScan
+	OpIncr
+	OpDecr
 )
 
 // String returns the protocol verb.
@@ -28,6 +30,10 @@ func (k OpKind) String() string {
 		return "DEL"
 	case OpScan:
 		return "SCAN"
+	case OpIncr:
+		return "INCR"
+	case OpDecr:
+		return "DECR"
 	}
 	return "?"
 }
@@ -36,7 +42,7 @@ func (k OpKind) String() string {
 type Op struct {
 	Kind OpKind
 	Key  uint64
-	Val  uint64 // PUT only
+	Val  uint64 // PUT: value; INCR/DECR: delta
 	N    int    // SCAN only: pair count
 }
 
@@ -51,6 +57,10 @@ func (o Op) Line() string {
 		return "DEL " + strconv.FormatUint(o.Key, 10)
 	case OpScan:
 		return "SCAN " + strconv.FormatUint(o.Key, 10) + " " + strconv.Itoa(o.N)
+	case OpIncr:
+		return "INCR " + strconv.FormatUint(o.Key, 10) + " " + strconv.FormatUint(o.Val, 10)
+	case OpDecr:
+		return "DECR " + strconv.FormatUint(o.Key, 10) + " " + strconv.FormatUint(o.Val, 10)
 	}
 	return ""
 }
@@ -81,6 +91,10 @@ type Spec struct {
 	// runs for its fraction of the connection's planned operations, in
 	// order. Kind is then reported as "phased".
 	Phases []Phase `json:"phases,omitempty"`
+	// Mix is the weighted verb mix for Kind "mix" (ParseMix's
+	// `verb:weight,…` string, e.g. "put:1,get:1,incr:2"), kept in flag form
+	// so the artifact's config section reproduces the workload verbatim.
+	Mix string `json:"mix,omitempty"`
 }
 
 // Phase is one segment of a phase-changing schedule.
@@ -90,7 +104,7 @@ type Phase struct {
 }
 
 // DistNames lists the atomic distribution kinds.
-var DistNames = []string{"uniform", "zipf", "churn", "scan"}
+var DistNames = []string{"uniform", "zipf", "churn", "scan", "incr"}
 
 // DefaultSpec fills the knobs a flag-less run uses.
 func DefaultSpec() Spec {
@@ -116,6 +130,9 @@ func (s Spec) withDefaults() Spec {
 
 // Name returns the distribution's reporting name.
 func (s Spec) Name() string {
+	if s.Kind == "mix" {
+		return "mix(" + s.Mix + ")"
+	}
 	if len(s.Phases) > 0 {
 		names := make([]string, len(s.Phases))
 		for i, p := range s.Phases {
@@ -158,6 +175,61 @@ func ParseDist(s string, base Spec) (Spec, error) {
 	}
 	for i := range out.Phases {
 		out.Phases[i].Frac /= sum
+	}
+	return out, nil
+}
+
+// ParseMix parses a -mix flag value `verb:weight,…` (for example
+// `put:1,get:1,incr:2`) into a weighted-verb Spec over base's
+// keys/scan-len knobs. Verbs are get, put, del, incr, decr, scan; a verb
+// without a weight counts 1. The raw string is kept on the Spec so the
+// artifact reproduces the workload.
+func ParseMix(s string, base Spec) (Spec, error) {
+	if _, err := parseMixWeights(s); err != nil {
+		return Spec{}, err
+	}
+	out := base.withDefaults()
+	out.Kind = "mix"
+	out.Mix = s
+	out.Phases = nil
+	return out, nil
+}
+
+// mixEntry is one verb's normalized share of a mix distribution.
+type mixEntry struct {
+	kind OpKind
+	w    float64
+}
+
+func parseMixWeights(s string) ([]mixEntry, error) {
+	verbs := map[string]OpKind{
+		"get": OpGet, "put": OpPut, "del": OpDel,
+		"incr": OpIncr, "decr": OpDecr, "scan": OpScan,
+	}
+	var out []mixEntry
+	sum := 0.0
+	for _, part := range strings.Split(s, ",") {
+		name, wStr, hasW := strings.Cut(strings.TrimSpace(part), ":")
+		w := 1.0
+		if hasW {
+			f, err := strconv.ParseFloat(wStr, 64)
+			if err != nil || f <= 0 {
+				return nil, fmt.Errorf("loadgen: bad mix weight %q", part)
+			}
+			w = f
+		}
+		kind, ok := verbs[strings.ToLower(name)]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown mix verb %q (want get, put, del, incr, decr, scan)", name)
+		}
+		out = append(out, mixEntry{kind: kind, w: w})
+		sum += w
+	}
+	if len(out) == 0 || sum <= 0 {
+		return nil, fmt.Errorf("loadgen: empty mix %q", s)
+	}
+	for i := range out {
+		out[i].w /= sum
 	}
 	return out, nil
 }
@@ -213,6 +285,14 @@ func (s Spec) Generator(conn, planned int, seed int64) (Generator, error) {
 		return &churnGen{rng: rng, base: uint64(conn+1) << 48, window: s.Keys, readFrac: s.ReadFrac}, nil
 	case "scan":
 		return &scanGen{rng: rng, keys: s.Keys, scanFrac: s.ReadFrac, scanLen: s.ScanLen}, nil
+	case "incr":
+		return &incrGen{rng: rng, keys: s.Keys, readFrac: s.ReadFrac}, nil
+	case "mix":
+		entries, err := parseMixWeights(s.Mix)
+		if err != nil {
+			return nil, err
+		}
+		return &mixGen{rng: rng, keys: s.Keys, scanLen: s.ScanLen, entries: entries}, nil
 	}
 	return nil, fmt.Errorf("loadgen: unknown distribution %q", s.Kind)
 }
@@ -306,6 +386,62 @@ func (g *scanGen) Next() Op {
 		return Op{Kind: OpScan, Key: k, N: g.scanLen}
 	}
 	return Op{Kind: OpPut, Key: k, Val: g.rng.Uint64()}
+}
+
+// incrGen is the counter workload: INCRs of small deltas over a uniform
+// keyspace, interleaved with a ReadFrac share of GETs. Under a server with
+// absorption enabled the repeated increments of a bounded key set are
+// exactly what the accumulator folds into net deltas; under absorption off
+// the same stream measures the per-op read-modify-write baseline.
+type incrGen struct {
+	rng      *rand.Rand
+	keys     uint64
+	readFrac float64
+}
+
+func (g *incrGen) Name() string { return "incr" }
+
+func (g *incrGen) Next() Op {
+	k := uint64(g.rng.Int63n(int64(g.keys)))
+	if g.rng.Float64() < g.readFrac {
+		return Op{Kind: OpGet, Key: k}
+	}
+	return Op{Kind: OpIncr, Key: k, Val: 1 + uint64(g.rng.Int63n(16))}
+}
+
+// mixGen draws each op's verb from the normalized weight table, with
+// uniform keys: the -mix workload (`put:1,get:1,incr:2`-style).
+type mixGen struct {
+	rng     *rand.Rand
+	keys    uint64
+	scanLen int
+	entries []mixEntry
+}
+
+func (g *mixGen) Name() string { return "mix" }
+
+func (g *mixGen) Next() Op {
+	u := g.rng.Float64()
+	kind := g.entries[len(g.entries)-1].kind
+	for _, e := range g.entries {
+		if u < e.w {
+			kind = e.kind
+			break
+		}
+		u -= e.w
+	}
+	k := uint64(g.rng.Int63n(int64(g.keys)))
+	switch kind {
+	case OpPut:
+		return Op{Kind: OpPut, Key: k, Val: g.rng.Uint64()}
+	case OpScan:
+		return Op{Kind: OpScan, Key: k, N: g.scanLen}
+	case OpIncr, OpDecr:
+		return Op{Kind: kind, Key: k, Val: 1 + uint64(g.rng.Int63n(16))}
+	case OpDel:
+		return Op{Kind: OpDel, Key: k}
+	}
+	return Op{Kind: OpGet, Key: k}
 }
 
 // phasedGen runs its sub-generators back to back, switching after each

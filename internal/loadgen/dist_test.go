@@ -11,6 +11,8 @@ func TestOpLine(t *testing.T) {
 		"PUT 7 9":                  {Kind: OpPut, Key: 7, Val: 9},
 		"DEL 7":                    {Kind: OpDel, Key: 7},
 		"SCAN 7 16":                {Kind: OpScan, Key: 7, N: 16},
+		"INCR 7 3":                 {Kind: OpIncr, Key: 7, Val: 3},
+		"DECR 7 3":                 {Kind: OpDecr, Key: 7, Val: 3},
 		"GET 18446744073709551615": {Kind: OpGet, Key: ^uint64(0)},
 	}
 	for want, op := range cases {
@@ -58,12 +60,123 @@ func TestParseDistPhases(t *testing.T) {
 	}
 }
 
+// TestParseMix: the weighted verb mix parses, normalizes, draws only its
+// verbs in roughly the declared proportions, and rejects junk.
+func TestParseMix(t *testing.T) {
+	spec, err := ParseMix("put:1,get:1,incr:2", DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "mix" || spec.Mix != "put:1,get:1,incr:2" {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if spec.Name() != "mix(put:1,get:1,incr:2)" {
+		t.Fatalf("Name() = %q", spec.Name())
+	}
+	g, err := spec.Generator(0, 0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpKind]int{}
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		counts[op.Kind]++
+		switch op.Kind {
+		case OpIncr:
+			if op.Val < 1 || op.Val > 16 {
+				t.Fatalf("INCR delta %d outside [1,16]", op.Val)
+			}
+		case OpPut, OpGet:
+		default:
+			t.Fatalf("mix emitted %v, not in the mix", op.Kind)
+		}
+	}
+	if f := float64(counts[OpIncr]) / n; f < 0.45 || f > 0.55 {
+		t.Fatalf("incr share %.3f, want ≈0.5", f)
+	}
+	if f := float64(counts[OpPut]) / n; f < 0.20 || f > 0.30 {
+		t.Fatalf("put share %.3f, want ≈0.25", f)
+	}
+	for _, bad := range []string{"", "frob:1", "put:-1", "put:x", "incr:0"} {
+		if _, err := ParseMix(bad, DefaultSpec()); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+	// A bare verb weighs 1.
+	even, err := ParseMix("incr,decr", DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, _ := even.Generator(1, 0, 3)
+	c := map[OpKind]int{}
+	for i := 0; i < n; i++ {
+		c[ge.Next().Kind]++
+	}
+	if f := float64(c[OpDecr]) / n; f < 0.45 || f > 0.55 {
+		t.Fatalf("decr share %.3f, want ≈0.5", f)
+	}
+}
+
+// TestIncrDist: the counter distribution emits only INCRs (plus its
+// ReadFrac share of GETs) over the keyspace, and composes into phased
+// schedules (`incr@…`).
+func TestIncrDist(t *testing.T) {
+	spec, err := ParseDist("incr", DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := spec.Generator(0, 0, 23)
+	saw := map[OpKind]int{}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		saw[op.Kind]++
+		if op.Kind != OpIncr && op.Kind != OpGet {
+			t.Fatalf("incr dist emitted %v", op.Kind)
+		}
+		if op.Kind == OpIncr && (op.Val < 1 || op.Val > 16) {
+			t.Fatalf("INCR delta %d outside [1,16]", op.Val)
+		}
+		if op.Key >= spec.Keys {
+			t.Fatalf("key %d outside keyspace %d", op.Key, spec.Keys)
+		}
+	}
+	if saw[OpIncr] == 0 || saw[OpGet] == 0 {
+		t.Fatalf("mix not exercised: %v", saw)
+	}
+
+	phased, err := ParseDist("incr@1,uniform@1", DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const planned = 1000
+	pg, _ := phased.Generator(0, planned, 29)
+	for i := 0; i < planned; i++ {
+		op := pg.Next()
+		if i < planned/2 && op.Kind != OpIncr && op.Kind != OpGet {
+			t.Fatalf("op %d (%v) outside the incr phase's verbs", i, op.Kind)
+		}
+		if i >= planned/2 && op.Kind == OpIncr {
+			t.Fatalf("INCR emitted in uniform phase at op %d", i)
+		}
+	}
+}
+
 // TestGeneratorsDeterministic: the same (spec, conn, seed) triple yields
 // the same stream — reproducibility is what makes a BENCH artifact's
 // config section sufficient to re-run the workload.
 func TestGeneratorsDeterministic(t *testing.T) {
+	specs := map[string]Spec{}
 	for _, kind := range DistNames {
-		spec, _ := ParseDist(kind, DefaultSpec())
+		s, _ := ParseDist(kind, DefaultSpec())
+		specs[kind] = s
+	}
+	if m, err := ParseMix("put:1,get:1,incr:2,decr:1", DefaultSpec()); err == nil {
+		specs["mix"] = m
+	} else {
+		t.Fatal(err)
+	}
+	for kind, spec := range specs {
 		a, _ := spec.Generator(3, 1000, 99)
 		b, _ := spec.Generator(3, 1000, 99)
 		for i := 0; i < 1000; i++ {

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -39,13 +40,20 @@ func testConfig(addr string) Config {
 // relies on.
 func TestRunAllDistributions(t *testing.T) {
 	srv := selfHost(t, server.Options{})
-	dists := append(append([]string{}, DistNames...), "zipf@1,churn@1")
+	dists := append(append([]string{}, DistNames...),
+		"zipf@1,churn@1", "mix=put:1,get:2,incr:1,decr:1")
 	for _, name := range dists {
 		t.Run(name, func(t *testing.T) {
 			cfg := testConfig(srv.Addr().String())
 			base := DefaultSpec()
 			base.Keys = 256
-			spec, err := ParseDist(name, base)
+			var spec Spec
+			var err error
+			if mix, ok := strings.CutPrefix(name, "mix="); ok {
+				spec, err = ParseMix(mix, base)
+			} else {
+				spec, err = ParseDist(name, base)
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +79,8 @@ func TestRunAllDistributions(t *testing.T) {
 			// add up to at least what we sent (preload adds more; total.ops
 			// alone counts only batched writes).
 			d := rep.ServerDelta
-			verbs := d["total.puts"] + d["total.dels"] + d["total.gets"] + d["total.scans"]
+			verbs := d["total.puts"] + d["total.dels"] + d["total.gets"] +
+				d["total.scans"] + d["total.incrs"] + d["total.decrs"]
 			if verbs < float64(rep.Sent) {
 				t.Fatalf("server verb deltas %.0f < sent %d (%v)", verbs, rep.Sent, d)
 			}

@@ -136,6 +136,27 @@ func (cl *Client) Get(k uint64) (uint64, bool, error) {
 	return 0, false, fmt.Errorf("nvclient: GET %d: %s", k, reply)
 }
 
+// Incr adds d to k (wrapping uint64; a missing key counts from zero) and
+// returns the post-increment value. The VAL reply is an ack-after-flush:
+// with server-side absorption the reply may wait for the accumulator's
+// net-delta commit, but a returned Incr is durable.
+func (cl *Client) Incr(k, d uint64) (uint64, error) { return cl.counter("INCR", k, d) }
+
+// Decr subtracts d from k with Incr's semantics.
+func (cl *Client) Decr(k, d uint64) (uint64, error) { return cl.counter("DECR", k, d) }
+
+func (cl *Client) counter(verb string, k, d uint64) (uint64, error) {
+	reply, err := cl.Do(fmt.Sprintf("%s %d %d", verb, k, d))
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(reply, "VAL %d", &v); err != nil {
+		return 0, fmt.Errorf("nvclient: %s %d: %s", verb, k, reply)
+	}
+	return v, nil
+}
+
 // Stats fetches and parses one STATS snapshot.
 func (cl *Client) Stats() (*Stats, error) {
 	lines, err := cl.DoMulti("STATS", "END")

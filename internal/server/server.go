@@ -13,15 +13,20 @@
 //	PUT <k> <v>      ->  OK
 //	GET <k>          ->  VAL <v> | NIL
 //	DEL <k>          ->  OK | NIL
+//	INCR <k> <d>     ->  VAL <v> (the post-increment value)
+//	DECR <k> <d>     ->  VAL <v> (wrapping uint64; missing keys count from 0)
 //	SCAN <start> <n> ->  RANGE <count> k1 v1 k2 v2 ... (ascending, one line)
 //	STATS            ->  one line per shard, a total line, a stripes line, then END
 //	QUIT             ->  BYE (server closes the connection)
 //	anything else    ->  ERR <message>
 //
 // An OK reply to PUT/DEL is an ack-after-flush: the mutation's FASE has
-// committed and drained, so it survives any later power failure. STATS
-// lines are sorted, stable `key=value` tokens (see kv.ShardStats.Pairs);
-// internal/nvclient parses them.
+// committed and drained, so it survives any later power failure. The same
+// holds for a VAL reply to INCR/DECR — with absorption enabled
+// (kv.Options.Absorb) the reply may be deferred until the shard's counter
+// accumulator commits the key's net delta, but a replied counter op is
+// durable. STATS lines are sorted, stable `key=value` tokens (see
+// kv.ShardStats.Pairs); internal/nvclient parses them.
 package server
 
 import (
@@ -223,6 +228,22 @@ func (s *Server) command(w *bufio.Writer, f []string) (quit bool) {
 		default:
 			fmt.Fprintln(w, "NIL")
 		}
+	case "INCR", "DECR":
+		k, d, err := parse2(f)
+		if err != nil {
+			fmt.Fprintf(w, "ERR usage: %s <key> <delta> (%v)\n", verb, err)
+			return false
+		}
+		op := s.st.Incr
+		if verb == "DECR" {
+			op = s.st.Decr
+		}
+		v, err := op(k, d)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "VAL %d\n", v)
 	case "SCAN":
 		start, n, err := parse2(f)
 		if err != nil {
