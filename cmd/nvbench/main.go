@@ -34,10 +34,19 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	plot := flag.Bool("plot", false, "also render figures as ASCII charts")
 	out := flag.String("out", "", "also persist every table as a BENCH JSON artifact at this path")
+	check := flag.String("check", "", "validate a BENCH artifact written by -out and exit")
 	flag.Parse()
 
 	if *list {
 		listExperiments(os.Stdout)
+		return
+	}
+	if *check != "" {
+		if err := checkArtifact(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "nvbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *check)
 		return
 	}
 
@@ -105,6 +114,35 @@ func writeArtifact(path, exp string, tables []*harness.Table) error {
 		})
 	}
 	return benchfmt.WriteFile(path, art)
+}
+
+// checkArtifact validates a -out artifact: intact envelope, at least one
+// table, and rectangular rows. CI runs this against every checked-in and
+// freshly generated BENCH file so a truncated or hand-mangled artifact
+// fails fast instead of silently drifting.
+func checkArtifact(path string) error {
+	var art benchTables
+	if err := benchfmt.ReadFile(path, &art); err != nil {
+		return err
+	}
+	if err := art.Meta.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(art.Tables) == 0 {
+		return fmt.Errorf("%s: no tables", path)
+	}
+	for _, t := range art.Tables {
+		if t.Title == "" || len(t.Headers) == 0 || len(t.Rows) == 0 {
+			return fmt.Errorf("%s: table %q is empty", path, t.Title)
+		}
+		for i, row := range t.Rows {
+			if len(row) != len(t.Headers) {
+				return fmt.Errorf("%s: table %q row %d has %d cells, want %d",
+					path, t.Title, i, len(row), len(t.Headers))
+			}
+		}
+	}
+	return nil
 }
 
 func (c *runCtx) parallel56() (*harness.ParallelResult, error) {
@@ -318,6 +356,37 @@ var experiments = []experiment{
 		if r.On.Committed >= r.On.Issued {
 			return fmt.Errorf("absorb run committed %.0f of %.0f issued writes — nothing absorbed",
 				r.On.Committed, r.On.Issued)
+		}
+		c.show(r.Table())
+		return nil
+	}},
+	{"recovery", "bounded-time recovery: full journal replay vs per-shard checkpoint + suffix, crash-injected", func(c *runCtx) error {
+		opt := harness.DefaultRecoveryOptions()
+		// -scale shrinks the key-space axis; the overwrite factor and tail
+		// stay fixed so the replayed-vs-restored ratio is comparable.
+		if s := c.opt.Scale * 256; s > 0 && s != 1 {
+			scaled := opt.Sizes[:0]
+			for _, sz := range opt.Sizes {
+				sz = int(float64(sz) * s)
+				if sz < 512 {
+					sz = 512
+				}
+				if n := len(scaled); n == 0 || scaled[n-1] != sz {
+					scaled = append(scaled, sz)
+				}
+			}
+			opt.Sizes = scaled
+		}
+		opt.Seed = c.opt.Seed
+		r, err := harness.RecoverySweep(opt)
+		if err != nil {
+			return err
+		}
+		// The bounded-recovery gate: at the largest heap the checkpointed
+		// store must come back strictly faster than full journal replay.
+		if lg := r.Largest(); lg != nil && lg.Ckpt.RecoverMS >= lg.Baseline.RecoverMS {
+			return fmt.Errorf("checkpointed recovery (%.2fms) not faster than full replay (%.2fms) at %d keys",
+				lg.Ckpt.RecoverMS, lg.Baseline.RecoverMS, lg.Keys)
 		}
 		c.show(r.Table())
 		return nil

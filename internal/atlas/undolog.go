@@ -51,6 +51,13 @@ const (
 // source that is still strictly monotonic per thread).
 var undoSeq atomic.Uint64
 
+// CurrentSeq returns the current FASE begin-sequence high-water mark — the
+// heap's log epoch. A checkpoint published at epoch E is ordered after
+// every FASE that began at sequence ≤ E on the shard that took it (the
+// shard checkpoints only at settled points), which is what lets recovery
+// treat the checkpoint plus the post-E journal suffix as the whole truth.
+func CurrentSeq() uint64 { return undoSeq.Load() }
+
 // UndoOp names an undo-log persistence point for Options.UndoHook. Each is
 // a boundary at which a crash leaves the log in a distinct intermediate
 // state, which is why fault injection enumerates them separately.
@@ -215,6 +222,44 @@ func (l *undoLog) rollback() int {
 	return dropped
 }
 
+// RecoverOp names a recovery persistence point for RecoverOptions.Hook.
+// Crash-during-recovery exploration arms these: recovery must be
+// idempotent, so a crash at either point followed by a second Recover has
+// to converge to the same state.
+type RecoverOp uint8
+
+const (
+	// RecoverReplay fires before a unit of restoration work is applied —
+	// in atlas, before an active log's entries are rolled back; in layers
+	// above (the kv checkpoint rebuild), before a replay batch.
+	RecoverReplay RecoverOp = iota
+	// RecoverInstall fires before the restoration is made authoritative —
+	// in atlas, before an active log's status word is cleared; above,
+	// before a rebuilt root is installed.
+	RecoverInstall
+)
+
+// String names the op.
+func (op RecoverOp) String() string {
+	switch op {
+	case RecoverReplay:
+		return "recover-replay"
+	case RecoverInstall:
+		return "recover-install"
+	default:
+		return fmt.Sprintf("recover-op(%d)", uint8(op))
+	}
+}
+
+// RecoverOptions instrument Recover; the zero value recovers silently.
+type RecoverOptions struct {
+	// Hook fires at each recovery persistence point (fault injection). A
+	// panic out of it abandons recovery mid-flight; rerunning Recover is
+	// always safe because every restore is durable word-by-word and the
+	// log stays active until RecoverInstall completes.
+	Hook func(RecoverOp)
+}
+
 // RecoveryReport summarises what Recover did.
 type RecoveryReport struct {
 	// LogsScanned is the number of registered undo logs.
@@ -223,6 +268,11 @@ type RecoveryReport struct {
 	FASEsRolledBack int
 	// WordsRestored counts undo entries applied.
 	WordsRestored int
+	// MaxSeq is the highest FASE begin sequence found across all logs,
+	// active or committed — the heap's log epoch at the crash. Recover
+	// advances the process-wide sequence to at least this value so epochs
+	// recorded by later checkpoints stay comparable across restarts.
+	MaxSeq uint64
 }
 
 // Recover must be called after reattaching to a heap that may have crashed.
@@ -230,6 +280,11 @@ type RecoveryReport struct {
 // state in which every FASE is either completely applied (it committed
 // before the crash and its policy drained its writes) or completely absent.
 func Recover(h *pmem.Heap) (RecoveryReport, error) {
+	return RecoverWith(h, RecoverOptions{})
+}
+
+// RecoverWith is Recover with instrumentation options.
+func RecoverWith(h *pmem.Heap, opts RecoverOptions) (RecoveryReport, error) {
 	var rep RecoveryReport
 	reg := h.Meta()
 	if reg == 0 {
@@ -238,6 +293,11 @@ func Recover(h *pmem.Heap) (RecoveryReport, error) {
 	n := h.ReadUint64(reg)
 	if n > registryCap {
 		return rep, fmt.Errorf("atlas: corrupt registry count %d", n)
+	}
+	at := func(op RecoverOp) {
+		if opts.Hook != nil {
+			opts.Hook(op)
+		}
 	}
 	// Collect active logs, then roll them back newest-begin-first: with
 	// pipelined FASE overlap the same thread can leave two active logs, and
@@ -250,6 +310,9 @@ func Recover(h *pmem.Heap) (RecoveryReport, error) {
 	for i := uint64(0); i < n; i++ {
 		base := h.ReadUint64(reg + 8 + 8*i)
 		rep.LogsScanned++
+		if seq := h.ReadUint64(base + logSeqOff); seq > rep.MaxSeq {
+			rep.MaxSeq = seq
+		}
 		if h.ReadUint64(base+logStatusOff) == 0 {
 			continue
 		}
@@ -260,6 +323,7 @@ func Recover(h *pmem.Heap) (RecoveryReport, error) {
 		base := al.base
 		count := h.ReadUint64(base + logCountOff)
 		rep.FASEsRolledBack++
+		at(RecoverReplay)
 		for j := int64(count) - 1; j >= 0; j-- {
 			e := base + logHeaderSize + uint64(j)*logEntrySize
 			addr := h.ReadUint64(e)
@@ -268,9 +332,19 @@ func Recover(h *pmem.Heap) (RecoveryReport, error) {
 			h.Persist(addr, 8)
 			rep.WordsRestored++
 		}
+		at(RecoverInstall)
 		h.WriteUint64(base+logStatusOff, 0)
 		h.WriteUint64(base+logCountOff, 0)
 		h.Persist(base, logHeaderSize)
+	}
+	// Epoch floor: keep begin sequences monotone across in-process restarts
+	// of the same heap, so a checkpoint's recorded epoch never compares
+	// against a recycled (smaller) sequence.
+	for {
+		cur := undoSeq.Load()
+		if cur >= rep.MaxSeq || undoSeq.CompareAndSwap(cur, rep.MaxSeq) {
+			break
+		}
 	}
 	return rep, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nvmcache/internal/core"
+	"nvmcache/internal/kv"
 )
 
 // absorbShape decodes the fuzzer's shape byte into an absorption
@@ -105,6 +106,104 @@ func FuzzAbsorb(f *testing.F) {
 			t.Fatalf("site %d of %d never fired (err %v); enumeration not deterministic?", target, n, err)
 		}
 		crash, _ := inj.Fired()
+		if _, _, err := recoverAndVerifyKV(o, h, ops, acked, crash); err != nil {
+			t.Fatalf("contract violated after %v (acked %d/%d ops): %v", crash, acked, len(ops), err)
+		}
+	})
+}
+
+// ckptShape decodes the fuzzer's shape byte into a checkpoint
+// configuration: the low bits pick the explicit-checkpoint cadence (every
+// 1st to 5th op — cadence 1 checkpoints after every single commit, so the
+// journal suffix is always one entry; cadence 5 leaves long suffixes and
+// multiple generations per image), the high bit stacks the overlapped
+// commit pipeline underneath.
+func ckptShape(b byte) KVOptions {
+	o := KVOptions{
+		Shards: 2,
+		Keys:   4,
+		Policy: core.SoftCacheOnline,
+		Config: core.DefaultConfig(),
+	}
+	o.CheckpointEvery = int(b&0x07)%5 + 1
+	if b&0x80 != 0 {
+		o.Pipeline = true
+	}
+	return o
+}
+
+// FuzzCheckpointRecover fuzzes the checkpoint/recovery crash contract
+// differentially against the serial model: decode an arbitrary
+// PUT/DEL/INCR/DECR stream, a checkpoint cadence, a fuzz-chosen serving
+// crash site, and (when rsite is nonzero) a fuzz-chosen recovery crash
+// site. The serving run crashes at the chosen boundary — possibly mid-
+// checkpoint, leaving a torn or half-published image — then, for the
+// recovery-crash half of the space, the first kv.Recover is itself cut at
+// the chosen recovery boundary and must leave the heap quiesced. The final
+// clean Recover is held to the exact-state oracle (applyOps): every acked
+// op present with its exact value, the nacked op rolled back or (ack
+// boundary) fully applied, regardless of which image or journal suffix the
+// recovery had to fall back to. Seed corpus in
+// testdata/fuzz/FuzzCheckpointRecover.
+func FuzzCheckpointRecover(f *testing.F) {
+	f.Add(byte(1), uint16(0), uint16(0), []byte{})
+	f.Add(byte(1), uint16(9), uint16(0), []byte{0, 4, 8, 12, 0, 4})       // cadence 2, serving crash only
+	f.Add(byte(2), uint16(60), uint16(3), []byte{0, 1, 4, 5, 8, 2, 6, 0}) // crash the recovery too
+	f.Add(byte(0x81), uint16(120), uint16(7), []byte{2, 6, 10, 14, 0, 4, 8, 12})
+	f.Add(byte(4), uint16(33), uint16(1), []byte{0, 4, 0, 4, 1, 5, 0, 4, 0, 4, 3, 7})
+	f.Fuzz(func(t *testing.T, shape byte, site, rsite uint16, stream []byte) {
+		o := ckptShape(shape).withDefaults()
+		ops := bytesToKVOps(stream)
+		if len(ops) == 0 {
+			return
+		}
+		counter := NewCounting()
+		_, acked, err := kvSeqRun(o, ops, counter)
+		if err != nil {
+			t.Fatalf("counting run: %v", err)
+		}
+		if acked != len(ops) {
+			t.Fatalf("counting run acked %d/%d ops", acked, len(ops))
+		}
+		n := counter.Sites()
+		if n == 0 {
+			return
+		}
+		target := int(site) % n
+		h, acked, crash, err := genCrashedKVHeap(o, ops, target)
+		if err != nil {
+			t.Fatalf("armed run: %v", err)
+		}
+		if rsite != 0 {
+			// Enumerate the recovery's own boundaries (this consumes the
+			// heap — the counting Recover repairs it), regenerate the
+			// identical crash, and cut the recovery at the chosen site.
+			rcount := NewCounting()
+			rcount.Enable()
+			st, _, err := kv.Recover(h, o.storeOptions(rcount))
+			rcount.Disable()
+			if err != nil {
+				t.Fatalf("counting recovery after %v: %v", crash, err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatalf("close after counting recovery: %v", err)
+			}
+			rn := rcount.Sites()
+			if rn == 0 {
+				return
+			}
+			if h, _, _, err = genCrashedKVHeap(o, ops, target); err != nil {
+				t.Fatalf("regenerate crashed heap: %v", err)
+			}
+			rtarget := int(rsite) % rn
+			rinj := NewArmed(rtarget)
+			rinj.Enable()
+			_, _, rerr := kv.Recover(h, o.storeOptions(rinj))
+			rinj.Disable()
+			if !errors.Is(rerr, kv.ErrCrashed) {
+				t.Fatalf("recovery site %d of %d never fired (err %v); recovery not deterministic?", rtarget, rn, rerr)
+			}
+		}
 		if _, _, err := recoverAndVerifyKV(o, h, ops, acked, crash); err != nil {
 			t.Fatalf("contract violated after %v (acked %d/%d ops): %v", crash, acked, len(ops), err)
 		}

@@ -66,6 +66,16 @@ type KVOptions struct {
 	// sweep proves a crash mid-resize loses no acked write. Requires a
 	// policy implementing core.CapacityControlled (the soft caches).
 	ResizeEvery int
+	// CheckpointEvery, when positive, runs the store with per-shard
+	// checkpoints enabled (redo journal + double-buffered images) and
+	// issues an explicit Store.Checkpoint after every CheckpointEvery-th
+	// sequential op. Checkpoints are writer-driven and the workload is
+	// blocking-sequential, so every shard is settled when the request
+	// arrives — the begin/serialize-page/publish/truncate boundaries join
+	// the site space deterministically. The timer and batch-count triggers
+	// stay off (Interval 0, IntervalBatches 0) so explicit requests are the
+	// only checkpoint cause the enumeration sees.
+	CheckpointEvery int
 }
 
 // resizeCycle is the capacity schedule ResizeEvery steps through: a hard
@@ -129,6 +139,18 @@ func (o KVOptions) storeOptions(inj *Injector) kv.Options {
 			Deadline:  o.AbsorbDeadline,
 		}
 	}
+	if o.CheckpointEvery > 0 {
+		// Small geometry keeps the heap compact; RecoverWorkers 1 makes the
+		// recovery-phase site enumeration (ExploreKVRecovery) deterministic.
+		// No timer, no batch trigger: the explorer's explicit Checkpoint
+		// calls are the only cause of a checkpoint.
+		ko.Checkpoint = kv.CheckpointConfig{
+			Enabled:        true,
+			JournalOps:     256,
+			MaxPairs:       64,
+			RecoverWorkers: 1,
+		}
+	}
 	if inj != nil {
 		ko.WrapSink = func(id int32, s core.FlushSink) core.FlushSink {
 			s = inj.WrapSink(id, s)
@@ -140,6 +162,8 @@ func (o KVOptions) storeOptions(inj *Injector) kv.Options {
 		ko.UndoHook = inj.UndoHook()
 		ko.AckHook = func(int) { inj.AckPoint() }
 		ko.AbsorbHook = inj.AbsorbHook()
+		ko.CheckpointHook = inj.CheckpointHook()
+		ko.RecoverHook = inj.RecoverHook()
 		ko.IsInjectedCrash = IsCrash
 	}
 	return ko
@@ -160,6 +184,26 @@ func (in *Injector) AbsorbHook() func(kv.AbsorbOp) {
 			in.Point(KindAbsorbDeadline)
 		case kv.AbsorbAck:
 			in.Point(KindAbsorbAck)
+		}
+	}
+}
+
+// CheckpointHook has the shape of kv Options.CheckpointHook, numbering the
+// checkpoint pipeline's persistence boundaries as injection sites: before
+// the snapshot is taken, before each payload chunk persists, before the
+// seal that validates the new image, and before the journal head advances
+// past entries the older image covers.
+func (in *Injector) CheckpointHook() func(kv.CkptOp) {
+	return func(op kv.CkptOp) {
+		switch op {
+		case kv.CkptBegin:
+			in.Point(KindCkptBegin)
+		case kv.CkptPage:
+			in.Point(KindCkptPage)
+		case kv.CkptPublish:
+			in.Point(KindCkptPublish)
+		case kv.CkptTruncate:
+			in.Point(KindLogTruncate)
 		}
 	}
 }
@@ -269,6 +313,19 @@ func kvSeqRun(o KVOptions, ops []kvOp, inj *Injector) (h *pmem.Heap, acked int, 
 		default:
 			return h, acked, err
 		}
+		if o.CheckpointEvery > 0 && (i+1)%o.CheckpointEvery == 0 {
+			// Every shard is settled (the workload blocks per op), so the
+			// checkpoint runs at a consistent tree/journal point and its
+			// boundary sequence is identical run to run.
+			switch cerr := st.Checkpoint(); {
+			case cerr == nil:
+			case errors.Is(cerr, kv.ErrCrashed):
+				<-st.Crashed()
+				return h, acked, errInjected
+			default:
+				return h, acked, cerr
+			}
+		}
 	}
 	inj.Disable()
 	if err := st.Close(); err != nil {
@@ -369,6 +426,127 @@ func ExploreKV(o KVOptions) (Report, error) {
 		}
 		rep.Runs++
 		rep.Crashes++
+	}
+	return rep, nil
+}
+
+// genCrashedKVHeap re-runs the deterministic workload with the given
+// serving site armed, producing a bit-identical crashed heap on every
+// call — the recovery explorer's way of getting a fresh copy of "the same
+// crash" for each recovery-phase site it wants to cut.
+func genCrashedKVHeap(o KVOptions, ops []kvOp, servingSite int) (*pmem.Heap, int, Crash, error) {
+	inj := NewArmed(servingSite)
+	h, acked, err := kvSeqRun(o, ops, inj)
+	if !errors.Is(err, errInjected) {
+		if err != nil {
+			return nil, 0, Crash{}, err
+		}
+		return nil, 0, Crash{}, fmt.Errorf("serving site %d never fired", servingSite)
+	}
+	crash, _ := inj.Fired()
+	return h, acked, crash, nil
+}
+
+// ExploreKVRecovery crashes the recovery itself. For a spread of serving
+// crash shapes (each a deterministic armed site in the checkpointed
+// serving sweep), it enumerates every persistence boundary crossed while
+// kv.Recover repairs that heap — undo rollbacks, rebuild-FASE flushes,
+// replay batches, generation installs, repair-checkpoint pages — then, per
+// boundary, regenerates the identical crashed heap, cuts the recovery at
+// exactly that point (kv.Recover must return ErrCrashed with the heap
+// quiesced), and proves idempotence: a second, clean Recover must converge
+// to the exact expected state, same as if the first recovery had never been
+// interrupted. RecoverWorkers is pinned to 1 so the recovery-phase site
+// enumeration is deterministic.
+func ExploreKVRecovery(o KVOptions) (Report, error) {
+	o = o.withDefaults()
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 3
+	}
+	ops := exhaustiveOps(o)
+	counter := NewCounting()
+	if _, acked, err := kvSeqRun(o, ops, counter); err != nil {
+		return Report{}, fmt.Errorf("faultinject: counting run: %w", err)
+	} else if acked != len(ops) {
+		return Report{}, fmt.Errorf("faultinject: counting run acked %d/%d ops", acked, len(ops))
+	}
+	serving := counter.Sites()
+	if serving == 0 {
+		return Report{}, errors.New("faultinject: no serving sites enumerated")
+	}
+	// A handful of serving shapes spread across the run: early (little
+	// durable state, maybe no image yet), around the checkpoints in the
+	// middle, and the very last boundary (journal suffix at its longest).
+	shapes := []int{0, serving / 4, serving / 2, 3 * serving / 4, serving - 1}
+	rep := Report{Kinds: make(map[Kind]int)}
+	seen := make(map[int]bool)
+	for _, s := range shapes {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		h, acked, crash, err := genCrashedKVHeap(o, ops, s)
+		if err != nil {
+			return rep, fmt.Errorf("faultinject: serving shape %d: %w", s, err)
+		}
+		// Counting pass over this heap's recovery. The injector is disabled
+		// again before the recovered store is closed, so the enumeration
+		// covers exactly the Recover window.
+		rcount := NewCounting()
+		rcount.Enable()
+		st, _, err := kv.Recover(h, o.storeOptions(rcount))
+		rcount.Disable()
+		if err != nil {
+			return rep, fmt.Errorf("faultinject: shape %d: counting recovery: %w", s, err)
+		}
+		if err := st.Close(); err != nil {
+			return rep, fmt.Errorf("faultinject: shape %d: close after counting recovery: %w", s, err)
+		}
+		rsites := rcount.Sites()
+		if rsites == 0 {
+			return rep, fmt.Errorf("faultinject: shape %d: recovery crossed no boundaries", s)
+		}
+		rep.Sites += rsites
+		for k, n := range rcount.Kinds() {
+			rep.Kinds[k] += n
+		}
+		for site := 0; site < rsites; site++ {
+			h, acked2, _, err := genCrashedKVHeap(o, ops, s)
+			if err != nil {
+				return rep, fmt.Errorf("faultinject: shape %d site %d: regenerate: %w", s, site, err)
+			}
+			if acked2 != acked {
+				return rep, fmt.Errorf("faultinject: shape %d not deterministic: acked %d then %d", s, acked, acked2)
+			}
+			rinj := NewArmed(site)
+			rinj.Enable()
+			_, _, rerr := kv.Recover(h, o.storeOptions(rinj))
+			rinj.Disable()
+			if !errors.Is(rerr, kv.ErrCrashed) {
+				if rerr != nil {
+					return rep, fmt.Errorf("faultinject: shape %d recovery site %d: %w", s, site, rerr)
+				}
+				return rep, fmt.Errorf("faultinject: shape %d recovery site %d never fired (%d sites; recovery not deterministic?)",
+					s, site, rsites)
+			}
+			rcrash, fired := rinj.Fired()
+			if !fired {
+				return rep, fmt.Errorf("faultinject: shape %d recovery site %d: ErrCrashed without a fired site", s, site)
+			}
+			// Second, clean recovery of the twice-crashed heap: the exact
+			// acked-state oracle still decides, against the original serving
+			// crash's ack-boundary semantics.
+			checks, rrep, err := recoverAndVerifyKV(o, h, ops, acked, crash)
+			rep.Checks += checks
+			rep.FASEsRolledBack += rrep.FASEsRolledBack
+			rep.WordsRestored += rrep.WordsRestored
+			if err != nil {
+				return rep, fmt.Errorf("faultinject: shape %d (%v): recovery crashed at %v, second recovery violated invariant: %w",
+					s, crash, rcrash, err)
+			}
+			rep.Runs++
+			rep.Crashes++
+		}
 	}
 	return rep, nil
 }

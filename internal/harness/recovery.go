@@ -1,0 +1,269 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmcache/internal/kv"
+	"nvmcache/internal/pmem"
+)
+
+// RecoveryOptions configure the bounded-time recovery comparison: the same
+// crash, at the same point of the same workload, recovered from the full
+// redo journal (no checkpoint ever published) versus from the newest
+// checkpoint image plus its short journal suffix.
+type RecoveryOptions struct {
+	Shards int
+	// Sizes is the heap-size axis: live keys per run. The gate (checkpointed
+	// strictly faster) is applied at the largest size, where full replay has
+	// the most history to redo.
+	Sizes []int
+	// Overwrite is the history multiplier: each run issues Overwrite×keys
+	// write ops, so the journal holds Overwrite versions of the key space —
+	// the work a full replay pays and a checkpoint folds away.
+	Overwrite int
+	// Tail is the number of ops issued after the last checkpoint and before
+	// the crash: the bounded suffix a checkpointed recovery replays.
+	Tail int
+	Seed int64
+}
+
+// DefaultRecoveryOptions sweep three sizes; the largest carries ~64k ops
+// of history into the crash.
+func DefaultRecoveryOptions() RecoveryOptions {
+	return RecoveryOptions{
+		Shards:    4,
+		Sizes:     []int{1024, 4096, 16384},
+		Overwrite: 4,
+		Tail:      256,
+		Seed:      42,
+	}
+}
+
+// RecoveryRun is one timed recovery.
+type RecoveryRun struct {
+	Name      string
+	Keys      int
+	Ops       int
+	HeapBytes uint64
+	// RecoverMS is the wall-clock kv.Recover time, crash to serving store.
+	RecoverMS float64
+	// Mode, Replayed and Restored come from the recovered store's gauges:
+	// which source recovery used, how many journal entries it replayed, how
+	// many pairs it restored from images.
+	Mode     uint64
+	Replayed uint64
+	Restored uint64
+}
+
+// RecoverySizeResult pairs the two recoveries of one heap size.
+type RecoverySizeResult struct {
+	Keys     int
+	Baseline RecoveryRun // full-journal replay (no image published)
+	Ckpt     RecoveryRun // newest image + bounded suffix
+}
+
+// Speedup is baseline time over checkpointed time (>1: checkpoints win).
+func (r *RecoverySizeResult) Speedup() float64 {
+	if r.Ckpt.RecoverMS > 0 {
+		return r.Baseline.RecoverMS / r.Ckpt.RecoverMS
+	}
+	return 0
+}
+
+// RecoveryResult is the sweep across the size axis.
+type RecoveryResult struct {
+	Opt  RecoveryOptions
+	Rows []RecoverySizeResult
+}
+
+// Largest returns the largest-size row — the one the CI gate judges.
+func (r *RecoveryResult) Largest() *RecoverySizeResult {
+	if len(r.Rows) == 0 {
+		return nil
+	}
+	best := &r.Rows[0]
+	for i := range r.Rows {
+		if r.Rows[i].Keys > best.Keys {
+			best = &r.Rows[i]
+		}
+	}
+	return best
+}
+
+// RecoverySweep drives each size twice: identical workload, identical
+// injected crash, one store that never published a checkpoint (recovery
+// must replay the whole journal) and one that checkpointed during the run
+// (recovery restores the newest image and replays only the post-checkpoint
+// tail). Both recoveries are wall-clock timed from crashed heap to serving
+// store and verified for mode and exact spot-checked values.
+func RecoverySweep(opt RecoveryOptions) (*RecoveryResult, error) {
+	res := &RecoveryResult{Opt: opt}
+	for _, keys := range opt.Sizes {
+		base, err := recoveryRun(opt, keys, false)
+		if err != nil {
+			return nil, fmt.Errorf("keys %d, full replay: %w", keys, err)
+		}
+		ck, err := recoveryRun(opt, keys, true)
+		if err != nil {
+			return nil, fmt.Errorf("keys %d, checkpointed: %w", keys, err)
+		}
+		res.Rows = append(res.Rows, RecoverySizeResult{Keys: keys, Baseline: *base, Ckpt: *ck})
+	}
+	return res, nil
+}
+
+// recoveryKeyVal is the deterministic value of key k in overwrite round r.
+func recoveryKeyVal(r, k int) uint64 { return uint64(r)<<40 | uint64(k) + 1 }
+
+func recoveryRun(opt RecoveryOptions, keys int, checkpointed bool) (*RecoveryRun, error) {
+	ops := keys * opt.Overwrite
+	kvOpts := kv.DefaultOptions()
+	kvOpts.Shards = opt.Shards
+	if pp := 8 * keys / opt.Shards; pp > kvOpts.PoolPages {
+		kvOpts.PoolPages = pp
+	}
+	// Checkpoint structures exist in both runs — the journal is the
+	// persistence scheme under comparison — but only the checkpointed run
+	// ever publishes an image. The journal is sized to hold the entire
+	// history so the baseline's full replay never overflows, and no timer
+	// or batch trigger fires behind the experiment's back.
+	kvOpts.Checkpoint = kv.CheckpointConfig{
+		Enabled:    true,
+		JournalOps: ops + 4*opt.Tail + 1024,
+		MaxPairs:   keys + 1024,
+	}
+	var armed atomic.Bool
+	kvOpts.CrashBeforeCommit = func(shard, batch, size int) bool {
+		return armed.Load()
+	}
+	h := pmem.New(int(2 * kv.RecommendedHeapBytes(kvOpts)))
+	st, err := kv.Open(h, kvOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Load Overwrite rounds over the key space from a few concurrent
+	// clients (keys are partitioned, so each key's write order is its round
+	// order and the final state is deterministic).
+	const clients = 4
+	for r := 0; r < opt.Overwrite; r++ {
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for k := c; k < keys; k += clients {
+					if err := st.Put(uint64(k), recoveryKeyVal(r, k)); err != nil {
+						errs[c] = err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// The checkpointed store publishes mid-history too, so truncation
+		// has an older image to retire and the journal head moves.
+		if checkpointed && (r == opt.Overwrite/2 || r == opt.Overwrite-1) {
+			if err := st.Checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// The bounded suffix: Tail more overwrites after the last checkpoint.
+	for i := 0; i < opt.Tail; i++ {
+		k := (i * 769) % keys
+		if err := st.Put(uint64(k), recoveryKeyVal(opt.Overwrite, k)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Crash the next commit, then time recovery to a serving store.
+	armed.Store(true)
+	if err := st.Put(uint64(keys), ^uint64(0)); !errors.Is(err, kv.ErrCrashed) {
+		return nil, fmt.Errorf("crash put: %v (want ErrCrashed)", err)
+	}
+	<-st.Crashed()
+
+	t0 := time.Now()
+	s2, _, err := kv.Recover(h, kvOpts)
+	if err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	elapsed := time.Since(t0)
+
+	run := &RecoveryRun{
+		Name:      "full replay",
+		Keys:      keys,
+		Ops:       ops + opt.Tail,
+		HeapBytes: h.Size(),
+		RecoverMS: float64(elapsed) / 1e6,
+	}
+	tot := kv.Totals(s2.Stats())
+	run.Mode, run.Replayed, run.Restored = tot.RecoveryMode, tot.RecoveryReplayed, tot.RecoveryRestored
+	wantMode := uint64(kv.RecoveryModeJournal)
+	if checkpointed {
+		run.Name = "checkpointed"
+		wantMode = kv.RecoveryModeCheckpoint
+	}
+	if run.Mode != wantMode {
+		return nil, fmt.Errorf("recovery mode %d, want %d", run.Mode, wantMode)
+	}
+	// Spot-check: the tail's overwrites and the last round's values must
+	// both have survived with exact values.
+	for i := 0; i < 64; i++ {
+		k := (i * 769) % keys
+		want := recoveryKeyVal(opt.Overwrite, k)
+		if opt.Tail == 0 || i >= opt.Tail {
+			want = recoveryKeyVal(opt.Overwrite-1, k)
+		}
+		got, found, err := s2.Get(uint64(k))
+		if err != nil {
+			return nil, err
+		}
+		if !found || got != want {
+			return nil, fmt.Errorf("key %d after recovery: got (%#x, %v), want %#x", k, got, found, want)
+		}
+	}
+	if err := s2.Close(); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// Table renders the sweep; the speedup column at the largest size is the
+// artifact's bounded-recovery evidence.
+func (r *RecoveryResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("bounded-time recovery: full journal replay vs checkpoint + suffix (%d shards, %dx overwrite, %d-op tail)",
+			r.Opt.Shards, r.Opt.Overwrite, r.Opt.Tail),
+		Headers: []string{"keys", "ops", "heap MB", "full-replay ms", "replayed", "ckpt ms", "replayed", "restored", "speedup"},
+		Notes: []string{
+			"both stores persist through the same redo journal; only the checkpointed one published images",
+			"full replay redoes the whole history; checkpointed recovery restores the newest image and replays only the post-checkpoint tail",
+		},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.Keys),
+			fmt.Sprintf("%d", row.Baseline.Ops),
+			fmt.Sprintf("%.1f", float64(row.Baseline.HeapBytes)/(1<<20)),
+			fmt.Sprintf("%.2f", row.Baseline.RecoverMS),
+			fmt.Sprintf("%d", row.Baseline.Replayed),
+			fmt.Sprintf("%.2f", row.Ckpt.RecoverMS),
+			fmt.Sprintf("%d", row.Ckpt.Replayed),
+			fmt.Sprintf("%d", row.Ckpt.Restored),
+			fmt.Sprintf("%.2fx", row.Speedup()),
+		)
+	}
+	return t
+}

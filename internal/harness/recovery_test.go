@@ -1,0 +1,42 @@
+package harness
+
+import "testing"
+
+// TestRecoverySweep runs a shrunk sweep and checks the structural
+// invariants: the baseline recovers by full journal replay of the whole
+// history, the checkpointed store recovers from an image plus a suffix no
+// longer than the tail, and both spot-check to exact values (recoveryRun
+// errors otherwise). Timing is asserted only directionally in the nvbench
+// gate, not here, to keep the test robust on loaded machines.
+func TestRecoverySweep(t *testing.T) {
+	opt := DefaultRecoveryOptions()
+	opt.Sizes = []int{256, 1024}
+	opt.Tail = 64
+	res, err := RecoverySweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		full := uint64(row.Keys*opt.Overwrite + opt.Tail)
+		if row.Baseline.Replayed != full {
+			t.Errorf("keys %d: baseline replayed %d entries, want the full history %d",
+				row.Keys, row.Baseline.Replayed, full)
+		}
+		if row.Ckpt.Replayed > uint64(opt.Tail) {
+			t.Errorf("keys %d: checkpointed replayed %d entries, want <= tail %d",
+				row.Keys, row.Ckpt.Replayed, opt.Tail)
+		}
+		if row.Ckpt.Restored < uint64(row.Keys)/2 {
+			t.Errorf("keys %d: checkpointed restored only %d pairs", row.Keys, row.Ckpt.Restored)
+		}
+	}
+	if lg := res.Largest(); lg == nil || lg.Keys != 1024 {
+		t.Fatalf("Largest() = %+v, want the 1024-key row", lg)
+	}
+	if s := res.Table().String(); len(s) == 0 {
+		t.Fatal("empty table")
+	}
+}

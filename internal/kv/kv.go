@@ -90,6 +90,22 @@ type Options struct {
 	// threshold commit, deadline commit, absorb ack) on the shard writer;
 	// internal/faultinject numbers them as crash-exploration sites.
 	AbsorbHook func(op AbsorbOp)
+	// Checkpoint configures per-shard checkpoint images, the redo journal
+	// behind them, and parallel bounded-time recovery (checkpoint.go).
+	// Disabled by default. A heap that already holds checkpoint structures
+	// keeps them maintained across Recover regardless of this field.
+	Checkpoint CheckpointConfig
+	// CheckpointHook observes each checkpoint durability boundary
+	// (begin, per-page persist, seal, truncate) on the shard writer;
+	// internal/faultinject numbers them as crash-exploration sites.
+	CheckpointHook func(op CkptOp)
+	// RecoverHook observes recovery-side boundaries: atlas undo-log
+	// rollback stages and each rebuild/replay batch during checkpointed
+	// recovery. A panic claimed by IsInjectedCrash aborts the recovery
+	// mid-flight (Recover returns ErrCrashed with the heap quiesced), and a
+	// second Recover on the same heap must converge — the crash-exploration
+	// contract for recovery itself.
+	RecoverHook func(op atlas.RecoverOp)
 	// CrashBeforeCommit is a failure-injection hook: when it returns true
 	// the writer simulates a power failure in the middle of its FASE —
 	// after the batch's stores, before the commit — so the whole store
@@ -154,6 +170,7 @@ func (o Options) withDefaults() Options {
 		o.Policy = core.SoftCacheOffline
 	}
 	o.Absorb = o.Absorb.withDefaults(o.MaxDelay)
+	o.Checkpoint = o.Checkpoint.withDefaults(o.PoolPages, o.MaxBatch)
 	return o
 }
 
@@ -173,6 +190,11 @@ func RecommendedHeapBytes(o Options) uint64 {
 	restarts := uint64(4) // undo logs re-allocated per recovery
 	total += restarts * uint64(o.Shards) * logs * (16*uint64(o.LogEntries) + 64)
 	total += 64 + 8*uint64(o.Shards) + 1<<14 // directory + registry + slack
+	if c := o.Checkpoint; c.Enabled {
+		perShard := pmem.CheckpointRegionSize(16*uint64(c.MaxPairs)) +
+			jrnHdr + jrnEntrySize*uint64(c.JournalOps) + 128
+		total += uint64(o.Shards)*perShard + ckdHdr + ckdStride*uint64(o.Shards)
+	}
 	return total + total/4
 }
 
@@ -262,19 +284,68 @@ func Open(heap *pmem.Heap, opts Options) (*Store, error) {
 	}
 	heap.Persist(dir, uint64(8+8*opts.Shards))
 	heap.SetRoot(dir)
+	if opts.Checkpoint.Enabled {
+		// Fresh store: the journal covers the whole (empty) history, so the
+		// journal-only recovery mode stays available until a first image
+		// lands (broken=false).
+		cks, err := setupCheckpoints(heap, opts.Checkpoint, opts.Shards, false)
+		if err != nil {
+			return nil, err
+		}
+		for i, sh := range s.shards {
+			sh.ckpt = cks[i]
+		}
+	}
 	s.start()
 	return s, nil
+}
+
+// crashGuard runs fn, converting a panic claimed by the injected-crash
+// classifier into crashed=true (recovery-side mirror of shard.crashedDuring).
+func crashGuard(claim func(any) bool, fn func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if claim == nil || !claim(r) {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
+	fn()
+	return false
 }
 
 // Recover reattaches to a heap that held a store, rolling back any FASE
 // that was in flight at the crash (every unacked batch), and resumes
 // serving. The shard count is read back from the directory; opts.Shards is
 // ignored.
+//
+// On a heap with checkpoint structures (see Options.Checkpoint) each
+// shard's tree is then rebuilt from its newest valid checkpoint image plus
+// the redo-journal suffix behind it — work bounded by the checkpoint
+// interval, not the store's history — with shards recovered in parallel by
+// a pool of Checkpoint.RecoverWorkers goroutines. A legacy heap (no
+// structures) takes exactly the rollback-only path and is not written to
+// beyond it; setting Checkpoint.Enabled on such a heap retrofits the
+// structures during this recovery.
+//
+// Recovery itself is crash-safe: an injected crash at any RecoverHook or
+// CheckpointHook boundary quiesces the heap and returns ErrCrashed, and a
+// fresh Recover on the same heap converges — rebuilds restart from scratch
+// and never consume the images or journal entries they read.
 func Recover(heap *pmem.Heap, opts Options) (*Store, atlas.RecoveryReport, error) {
 	opts = opts.withDefaults()
-	rep, err := atlas.Recover(heap)
-	if err != nil {
-		return nil, rep, fmt.Errorf("kv: %w", err)
+	claim := opts.IsInjectedCrash
+	var rep atlas.RecoveryReport
+	var aerr error
+	if crashGuard(claim, func() {
+		rep, aerr = atlas.RecoverWith(heap, atlas.RecoverOptions{Hook: opts.RecoverHook})
+	}) {
+		heap.Crash()
+		return nil, rep, ErrCrashed
+	}
+	if aerr != nil {
+		return nil, rep, fmt.Errorf("kv: %w", aerr)
 	}
 	dir := heap.Root()
 	if dir == 0 {
@@ -285,10 +356,28 @@ func Recover(heap *pmem.Heap, opts Options) (*Store, atlas.RecoveryReport, error
 		return nil, rep, fmt.Errorf("kv: corrupt shard directory (%d shards)", n)
 	}
 	opts.Shards = int(n)
+
+	// Checkpoint structures: a heap that has them keeps them maintained
+	// (the persistent geometry wins over opts); a legacy heap gains them
+	// only when the caller asks.
+	var cks []*shardCkpt
+	retrofit := false
+	if aux := heap.Aux(); aux != 0 {
+		var err error
+		cks, opts.Checkpoint, err = openCheckpoints(heap, aux, opts.Checkpoint, opts.Shards)
+		if err != nil {
+			return nil, rep, err
+		}
+	} else if opts.Checkpoint.Enabled {
+		retrofit = true
+	}
+
 	taps := initAdaptive(opts)
 	rt := atlas.NewRuntime(heap, runtimeOptions(opts, taps))
 	s := &Store{heap: heap, rt: rt, opts: opts, taps: taps,
 		crashCh: make(chan struct{}), crashDone: make(chan struct{})}
+	ths := make([]*atlas.Thread, opts.Shards)
+	dbs := make([]*mdb.DB, opts.Shards)
 	for i := 0; i < opts.Shards; i++ {
 		th, err := rt.NewThread()
 		if err != nil {
@@ -298,7 +387,102 @@ func Recover(heap *pmem.Heap, opts Options) (*Store, atlas.RecoveryReport, error
 		if err != nil {
 			return nil, rep, fmt.Errorf("kv: shard %d: %w", i, err)
 		}
-		s.shards = append(s.shards, newShard(s, i, th, db))
+		ths[i], dbs[i] = th, db
+	}
+
+	recs := make([]shardRecovery, opts.Shards)
+	if cks != nil {
+		// Parallel checkpointed recovery: each worker owns its shard's
+		// thread and tree outright, so the only shared state is the atlas
+		// runtime's internals, which are built for concurrent threads.
+		workers := opts.Checkpoint.RecoverWorkers
+		if workers > opts.Shards {
+			workers = opts.Shards
+		}
+		sem := make(chan struct{}, workers)
+		errs := make([]error, opts.Shards)
+		crashes := make([]bool, opts.Shards)
+		panics := make([]any, opts.Shards)
+		var wg sync.WaitGroup
+		for i := range dbs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						if claim != nil && claim(r) {
+							crashes[i] = true
+							return
+						}
+						panics[i] = r
+					}
+				}()
+				recs[i], errs[i] = recoverShardCkpt(dbs[i], cks[i], opts.RecoverHook, opts.CheckpointHook)
+			}(i)
+		}
+		wg.Wait()
+		for _, p := range panics {
+			if p != nil {
+				panic(p)
+			}
+		}
+		for _, c := range crashes {
+			if c {
+				// An injected crash cut a rebuild mid-flight. Quiesce exactly
+				// as a power failure would: abort any pipeline residue and
+				// drop the volatile view. The next Recover starts over.
+				rt.CrashAbort()
+				heap.Crash()
+				return nil, rep, ErrCrashed
+			}
+		}
+		for i, err := range errs {
+			if err != nil {
+				return nil, rep, fmt.Errorf("kv: shard %d: recovery: %w", i, err)
+			}
+		}
+	} else if retrofit {
+		// Legacy heap, checkpointing requested: create the structures with
+		// broken journals (their range can never cover the pre-existing
+		// tree) and seed each region with a full-state image so the next
+		// recovery is already bounded.
+		var err error
+		cks, err = setupCheckpoints(heap, opts.Checkpoint, opts.Shards, true)
+		if err != nil {
+			return nil, rep, err
+		}
+		for i := range dbs {
+			var perr error
+			if crashGuard(claim, func() {
+				var published bool
+				published, _, _, perr = publishImage(dbs[i], cks[i], opts.CheckpointHook)
+				if published {
+					truncateAfterPublish(cks[i], opts.CheckpointHook)
+				}
+			}) {
+				rt.CrashAbort()
+				heap.Crash()
+				return nil, rep, ErrCrashed
+			}
+			if perr != nil {
+				return nil, rep, fmt.Errorf("kv: shard %d: retrofit checkpoint: %w", i, perr)
+			}
+			recs[i] = shardRecovery{mode: RecoveryModeLegacy}
+		}
+	}
+
+	for i := 0; i < opts.Shards; i++ {
+		sh := newShard(s, i, ths[i], dbs[i])
+		if cks != nil {
+			sh.ckpt = cks[i]
+		}
+		sh.recMode.Store(recs[i].mode)
+		sh.recFallbacks.Store(recs[i].fallbacks)
+		sh.recReplayed.Store(recs[i].replayed)
+		sh.recRestored.Store(recs[i].restored)
+		s.shards = append(s.shards, sh)
 	}
 	s.start()
 	return s, rep, nil

@@ -87,6 +87,15 @@ type shard struct {
 	// iterations of the overlapped protocol. Writer goroutine only.
 	inFlight *flightBatch
 
+	// Checkpoint state (nil when checkpointing is off). ckptCh carries
+	// explicit Store.Checkpoint requests to the writer, which serves them at
+	// settled points; lastCkpt/batchesSince drive the cadence triggers.
+	// Writer goroutine only, except the ckptCh sends.
+	ckpt         *shardCkpt
+	ckptCh       chan chan error
+	lastCkpt     time.Time
+	batchesSince int
+
 	// Snapshot bookkeeping. curRoot/curGen are the last *committed* root
 	// and generation — never a mid-transaction root, which is why readers
 	// must go through acquire instead of db.Snapshot.
@@ -103,9 +112,11 @@ func newShard(s *Store, id int, th *atlas.Thread, db *mdb.DB) *shard {
 	sh := &shard{
 		id: id, st: s, th: th, db: db,
 		ch:     make(chan request, s.opts.QueueDepth),
+		ckptCh: make(chan chan error),
 		done:   make(chan struct{}),
 		active: make(map[uint64]int),
 	}
+	sh.lastCkpt = time.Now()
 	sh.maxBatch.Store(int64(s.opts.MaxBatch))
 	sh.maxDelayNs.Store(int64(s.opts.MaxDelay))
 	sh.absorbThreshold.Store(int64(s.opts.Absorb.Threshold))
@@ -210,6 +221,13 @@ func (sh *shard) run() {
 				if sh.commitBatch(batch) {
 					return
 				}
+				if sh.maybeCheckpoint() {
+					return
+				}
+			case reply := <-sh.ckptCh:
+				if sh.serveCheckpoint(reply) {
+					return
+				}
 			case <-sh.st.crashCh:
 				sh.dropInFlight()
 				return
@@ -235,11 +253,31 @@ func (sh *shard) run() {
 			timer = time.NewTimer(wait)
 			deadlineC = timer.C
 		}
-		select {
-		case req, ok := <-sh.ch:
+		// With a wall-clock checkpoint cadence configured, wake at the next
+		// due time even if the queue stays idle.
+		var (
+			ckptC     <-chan time.Time
+			ckptTimer *time.Timer
+		)
+		if ck := sh.ckpt; ck != nil && ck.cfg.Interval > 0 {
+			wait := ck.cfg.Interval - time.Since(sh.lastCkpt)
+			if wait < 0 {
+				wait = 0
+			}
+			ckptTimer = time.NewTimer(wait)
+			ckptC = ckptTimer.C
+		}
+		stopTimers := func() {
 			if timer != nil {
 				timer.Stop()
 			}
+			if ckptTimer != nil {
+				ckptTimer.Stop()
+			}
+		}
+		select {
+		case req, ok := <-sh.ch:
+			stopTimers()
 			if !ok {
 				if !sh.drainAbsorb() {
 					sh.settle()
@@ -250,14 +288,33 @@ func (sh *shard) run() {
 			if sh.commitBatch(batch) {
 				return
 			}
+			if sh.maybeCheckpoint() {
+				return
+			}
 		case <-deadlineC:
+			if ckptTimer != nil {
+				ckptTimer.Stop()
+			}
 			if sh.commitBatch(nil) {
 				return
 			}
-		case <-sh.st.crashCh:
+			if sh.maybeCheckpoint() {
+				return
+			}
+		case <-ckptC:
 			if timer != nil {
 				timer.Stop()
 			}
+			if _, crashed := sh.checkpointNow(); crashed {
+				return
+			}
+		case reply := <-sh.ckptCh:
+			stopTimers()
+			if sh.serveCheckpoint(reply) {
+				return
+			}
+		case <-sh.st.crashCh:
+			stopTimers()
 			return
 		}
 	}
@@ -371,6 +428,16 @@ func (sh *shard) commitBatch(batch []request) (crashed bool) {
 			return sh.finishAbsorbed(plan)
 		}
 		batch, results = plan.acks, plan.results
+	}
+	// Journal pressure: the batch's redo entries must fit before its FASE
+	// opens (forcing a checkpoint, or tripping overflow, if not).
+	jneed := len(batch)
+	if plan != nil {
+		jneed = len(plan.writes)
+	}
+	if sh.ensureJournalRoom(jneed) {
+		nackAll(batch, ErrCrashed)
+		return true
 	}
 	pre := sh.th.FlushStats()
 	outcome, pc, failed := sh.applyBatch(batch, results, plan)
@@ -534,12 +601,20 @@ func (sh *shard) applyBatch(batch []request, results []result, plan *commitPlan)
 	var failed error
 	if plan != nil {
 		// Absorbed commit: results were precomputed by the serial planner;
-		// the FASE applies only the net write per touched key.
+		// the FASE applies only the net write per touched key. Each physical
+		// write is mirrored into the redo journal (deletes of absent keys
+		// included — their replay is a no-op).
 		for _, w := range plan.writes {
 			if w.del {
 				_, failed = sh.db.Delete(w.k)
+				if failed == nil {
+					sh.journalAppend(jOpDel, w.k, 0)
+				}
 			} else {
 				failed = sh.db.Put(w.k, w.v)
+				if failed == nil {
+					sh.journalAppend(jOpPut, w.k, w.v)
+				}
 			}
 			if failed != nil {
 				break
@@ -551,12 +626,19 @@ func (sh *shard) applyBatch(batch []request, results []result, plan *commitPlan)
 			switch r.op {
 			case opPut:
 				failed = sh.db.Put(r.k, r.v)
+				if failed == nil {
+					sh.journalAppend(jOpPut, r.k, r.v)
+				}
 			case opDel:
 				results[i].found, failed = sh.db.Delete(r.k)
+				if failed == nil {
+					sh.journalAppend(jOpDel, r.k, 0)
+				}
 			case opIncr, opDecr:
 				// Absorption off: an ordinary read-modify-write inside the
 				// batch's FASE (Get sees the in-transaction tree, so earlier
-				// batch ops are visible).
+				// batch ops are visible). Journaled as the computed put, so
+				// replay needs no read-back.
 				d := r.v
 				if r.op == opDecr {
 					d = -d
@@ -564,6 +646,9 @@ func (sh *shard) applyBatch(batch []request, results []result, plan *commitPlan)
 				cur, _ := sh.db.Get(r.k)
 				results[i].val = cur + d
 				failed = sh.db.Put(r.k, cur+d)
+				if failed == nil {
+					sh.journalAppend(jOpPut, r.k, cur+d)
+				}
 			}
 			if failed != nil {
 				break
@@ -574,11 +659,16 @@ func (sh *shard) applyBatch(batch []request, results []result, plan *commitPlan)
 		// Shed the whole batch: roll the transaction back so the committed
 		// tree is untouched, and surface the cause (typically
 		// mdb.ErrPoolExhausted) to every requester.
+		sh.journalAbort()
 		if aerr := sh.db.Abort(); aerr != nil {
 			failed = fmt.Errorf("%w (abort: %v)", failed, aerr)
 		}
 		return batchFailed, nil, failed
 	}
+	// Seal the staged journal entries inside the FASE: the tail/gen words
+	// are undo-logged stores, so any crash short of the commit rolls the
+	// journal and the tree back together.
+	sh.journalSeal()
 	if hook := sh.st.opts.CrashBeforeCommit; hook != nil &&
 		hook(sh.id, int(sh.batches.Load()), len(batch)) {
 		return batchCrashInjected, nil, ErrCrashed

@@ -117,6 +117,21 @@ func (p *Pool) Free(block uint64) {
 	p.heap.Persist(p.base+poolHeadOff, 8)
 }
 
+// Reset discards every allocation at once: the free list empties and the
+// arena cursor rewinds to the start, as if the pool were fresh. Checkpointed
+// recovery uses it to rebuild a store's pages from scratch without leaking
+// the crashed tree's blocks. Reset is not atomic across its two words, but
+// any crash ordering is safe: head is cleared first, so the worst a crash
+// can leave is an empty free list with the old cursor — a valid (leaky)
+// pool — and the rebuild that follows a crash re-runs Reset anyway.
+func (p *Pool) Reset() {
+	arena := p.base + poolHdr
+	p.heap.WriteUint64(p.base+poolHeadOff, 0)
+	p.heap.Persist(p.base+poolHeadOff, 8)
+	p.heap.WriteUint64(p.base+poolCursorOff, arena)
+	p.heap.Persist(p.base+poolCursorOff, 8)
+}
+
 // FreeCount walks the free list (diagnostics; O(free blocks)).
 func (p *Pool) FreeCount() int {
 	n := 0

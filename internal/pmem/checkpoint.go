@@ -1,0 +1,272 @@
+package pmem
+
+import (
+	"fmt"
+	"hash/crc64"
+
+	"nvmcache/internal/trace"
+)
+
+// CheckpointRegion is a crash-safe double-buffered publication area: a
+// writer repeatedly publishes a payload (a serialized snapshot) and a
+// reader after a crash recovers the newest payload that was *completely*
+// published. Torn publishes are detected, never silently consumed.
+//
+// The design is the classic A/B slot scheme (LMDB's double meta page,
+// ZFS's uberblock ring at depth 2): two slots alternate as publish
+// targets, each sealed by a monotonically increasing sequence number that
+// is written — durably, via write-through — only after the payload and
+// the rest of the header are durable. A crash mid-publish leaves the
+// target slot with seq 0 (it is explicitly invalidated before the payload
+// is touched), so the previous slot is still intact; a crash that tears
+// the payload without reaching the seal leaves a CRC mismatch. Validation
+// therefore accepts a slot only when its seq is nonzero, its length is in
+// bounds, and the CRC-64 (ECMA) of the payload matches the sealed header.
+//
+// Layout (all line-aligned so slots never share lines with neighbours):
+//
+//	base+0:   magic
+//	base+8:   payload capacity in bytes
+//	base+64:  slot 0
+//	base+64+slotSize: slot 1
+//
+// and each slot:
+//
+//	slot+0:   seq   (0 = empty or mid-publish)
+//	slot+8:   payload length in bytes
+//	slot+16:  CRC-64/ECMA of the payload
+//	slot+24:  meta[0]   } three opaque words the publisher threads
+//	slot+32:  meta[1]   } through to recovery (the kv layer stores
+//	slot+40:  meta[2]   } generation, journal position, undo epoch)
+//	slot+64:  payload
+//
+// Single-writer: only one goroutine may Publish at a time (the kv shard
+// writer, or the recovery worker re-establishing the invariant). Newest
+// may run on any goroutine once the heap is quiesced (post-crash).
+type CheckpointRegion struct {
+	heap       *Heap
+	base       uint64
+	payloadCap uint64
+}
+
+const (
+	ckptMagic = 0x4e564d434b505431 // "NVMCKPT1"
+
+	ckptSeqOff  = 0
+	ckptLenOff  = 8
+	ckptCRCOff  = 16
+	ckptMetaOff = 24
+	ckptHdr     = trace.LineSize
+
+	// ckptChunk is the publish granularity: the payload is written and
+	// persisted in chunks this large, with the page hook fired before each
+	// one, so crash exploration gets one numbered site per chunk.
+	ckptChunk = 1024
+)
+
+var ckptTable = crc64.MakeTable(crc64.ECMA)
+
+func ckptAlignLines(n uint64) uint64 {
+	if r := n % trace.LineSize; r != 0 {
+		n += trace.LineSize - r
+	}
+	return n
+}
+
+func ckptSlotSize(payloadCap uint64) uint64 { return ckptHdr + ckptAlignLines(payloadCap) }
+
+// CheckpointRegionSize returns the heap footprint of a region with the
+// given payload capacity (for heap-sizing arithmetic).
+func CheckpointRegionSize(payloadCap uint64) uint64 {
+	return ckptHdr + 2*ckptSlotSize(payloadCap)
+}
+
+// NewCheckpointRegion carves a fresh region (both slots empty) out of the
+// heap.
+func NewCheckpointRegion(h *Heap, payloadCap uint64) (*CheckpointRegion, error) {
+	if payloadCap == 0 {
+		return nil, fmt.Errorf("pmem: checkpoint region needs a nonzero payload capacity")
+	}
+	base, err := h.AllocLines(CheckpointRegionSize(payloadCap))
+	if err != nil {
+		return nil, fmt.Errorf("pmem: checkpoint region: %w", err)
+	}
+	r := &CheckpointRegion{heap: h, base: base, payloadCap: payloadCap}
+	h.Write64Through(base, ckptMagic)
+	h.Write64Through(base+8, payloadCap)
+	h.Write64Through(r.slot(0)+ckptSeqOff, 0)
+	h.Write64Through(r.slot(1)+ckptSeqOff, 0)
+	return r, nil
+}
+
+// OpenCheckpointRegion reattaches to a region previously created at base.
+func OpenCheckpointRegion(h *Heap, base uint64) (*CheckpointRegion, error) {
+	if base == 0 || h.ReadUint64(base) != ckptMagic {
+		return nil, fmt.Errorf("pmem: %d does not hold a checkpoint region", base)
+	}
+	return &CheckpointRegion{heap: h, base: base, payloadCap: h.ReadUint64(base + 8)}, nil
+}
+
+// Base returns the region's persistent address.
+func (r *CheckpointRegion) Base() uint64 { return r.base }
+
+// PayloadCap returns the per-slot payload capacity in bytes.
+func (r *CheckpointRegion) PayloadCap() uint64 { return r.payloadCap }
+
+func (r *CheckpointRegion) slot(i int) uint64 {
+	return r.base + ckptHdr + uint64(i)*ckptSlotSize(r.payloadCap)
+}
+
+// PublishStage tells the Publish hook which durability boundary is about
+// to be crossed.
+type PublishStage uint8
+
+const (
+	// StagePage fires before each payload chunk is persisted.
+	StagePage PublishStage = iota
+	// StageSeal fires after the payload and header fields are durable,
+	// immediately before the seq word that makes the slot valid.
+	StageSeal
+)
+
+// Publish writes payload and meta into the stale slot and seals it with
+// the next sequence number, returning that number. The hook (nil ok) fires
+// at each durability boundary; a panic out of it (an injected crash)
+// leaves the previous checkpoint untouched and the target slot invalid.
+func (r *CheckpointRegion) Publish(payload []byte, meta [3]uint64, at func(stage PublishStage, chunk int)) (uint64, error) {
+	if uint64(len(payload)) > r.payloadCap {
+		return 0, fmt.Errorf("pmem: checkpoint payload %d bytes exceeds capacity %d", len(payload), r.payloadCap)
+	}
+	seq0, seq1 := r.heap.ReadUint64(r.slot(0)+ckptSeqOff), r.heap.ReadUint64(r.slot(1)+ckptSeqOff)
+	// Overwrite the stale slot, seal one past the newer seq.
+	target, newSeq := 1, seq0+1
+	if seq0 < seq1 {
+		target, newSeq = 0, seq1+1
+	}
+	s := r.slot(target)
+	// Invalidate first: from here until the seal, a crash recovers from the
+	// other slot (or from whatever deeper fallback the caller keeps).
+	r.heap.Write64Through(s+ckptSeqOff, 0)
+	for off, chunk := 0, 0; off < len(payload); off, chunk = off+ckptChunk, chunk+1 {
+		end := off + ckptChunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		if at != nil {
+			at(StagePage, chunk)
+		}
+		r.heap.WriteBytes(s+ckptHdr+uint64(off), payload[off:end])
+		r.heap.Persist(s+ckptHdr+uint64(off), uint64(end-off))
+	}
+	r.heap.Write64Through(s+ckptLenOff, uint64(len(payload)))
+	r.heap.Write64Through(s+ckptCRCOff, crc64.Checksum(payload, ckptTable))
+	for i, m := range meta {
+		r.heap.Write64Through(s+ckptMetaOff+uint64(8*i), m)
+	}
+	if at != nil {
+		at(StageSeal, 0)
+	}
+	r.heap.Write64Through(s+ckptSeqOff, newSeq)
+	return newSeq, nil
+}
+
+// CheckpointImage is one recovered checkpoint.
+type CheckpointImage struct {
+	Seq     uint64
+	Meta    [3]uint64
+	Payload []byte
+	Slot    int
+}
+
+// validate re-derives a slot's CRC and returns its image if intact.
+func (r *CheckpointRegion) validate(i int) (CheckpointImage, bool) {
+	s := r.slot(i)
+	seq := r.heap.ReadUint64(s + ckptSeqOff)
+	n := r.heap.ReadUint64(s + ckptLenOff)
+	if seq == 0 || n > r.payloadCap {
+		return CheckpointImage{}, false
+	}
+	payload := r.heap.ReadBytes(s+ckptHdr, n)
+	if crc64.Checksum(payload, ckptTable) != r.heap.ReadUint64(s+ckptCRCOff) {
+		return CheckpointImage{}, false
+	}
+	img := CheckpointImage{Seq: seq, Payload: payload, Slot: i}
+	for j := range img.Meta {
+		img.Meta[j] = r.heap.ReadUint64(s + ckptMetaOff + uint64(8*j))
+	}
+	return img, true
+}
+
+// Newest returns the highest-sequence valid checkpoint, along with how
+// many newer-but-torn slots were skipped to reach it (the torn-checkpoint
+// fallback count). ok is false when neither slot holds a valid image.
+func (r *CheckpointRegion) Newest() (img CheckpointImage, skipped int, ok bool) {
+	a, okA := r.validate(0)
+	b, okB := r.validate(1)
+	switch {
+	case okA && okB:
+		if a.Seq >= b.Seq {
+			return a, 0, true
+		}
+		return b, 0, true
+	case okA || okB:
+		if okB {
+			a = b
+		}
+		// If the invalid slot was sealed with a newer seq its payload or
+		// header must be corrupt (a seal can only follow a durable payload,
+		// so this is byte-rot, not a torn publish); count it as a skip.
+		other := r.heap.ReadUint64(r.slot(1-a.Slot) + ckptSeqOff)
+		if other > a.Seq {
+			skipped = 1
+		}
+		return a, skipped, true
+	default:
+		skipped = 0
+		if r.heap.ReadUint64(r.slot(0)+ckptSeqOff) != 0 {
+			skipped++
+		}
+		if r.heap.ReadUint64(r.slot(1)+ckptSeqOff) != 0 {
+			skipped++
+		}
+		return CheckpointImage{}, skipped, false
+	}
+}
+
+// SlotSeq returns slot i's sealed sequence number (0 = invalid), for tests
+// and diagnostics.
+func (r *CheckpointRegion) SlotSeq(i int) uint64 { return r.heap.ReadUint64(r.slot(i) + ckptSeqOff) }
+
+// Invalidate durably clears slot i's seal, making it a torn slot. The kv
+// layer uses it when the journal overflows: images that pair with a
+// truncated journal prefix must never be consumed, so both are revoked.
+func (r *CheckpointRegion) Invalidate(i int) {
+	r.heap.Write64Through(r.slot(i)+ckptSeqOff, 0)
+}
+
+// Images returns the valid images in both slots, newest first.
+func (r *CheckpointRegion) Images() []CheckpointImage {
+	var out []CheckpointImage
+	for i := 0; i < 2; i++ {
+		if img, ok := r.validate(i); ok {
+			out = append(out, img)
+		}
+	}
+	if len(out) == 2 && out[0].Seq < out[1].Seq {
+		out[0], out[1] = out[1], out[0]
+	}
+	return out
+}
+
+// FlipPayloadByte flips one payload byte of slot i in both views (a
+// byte-rot model for torn-checkpoint tests: the views stay consistent so
+// heap invariants hold, but the slot's CRC no longer matches).
+func (r *CheckpointRegion) FlipPayloadByte(i int, off uint64) {
+	if off >= r.payloadCap {
+		panic(fmt.Sprintf("pmem: FlipPayloadByte offset %d outside payload capacity %d", off, r.payloadCap))
+	}
+	addr := r.slot(i) + ckptHdr + off
+	word := addr &^ 7
+	shift := (addr - word) * 8
+	r.heap.Write64Through(word, r.heap.ReadUint64(word)^(0xff<<shift))
+}

@@ -1,0 +1,169 @@
+package pmem
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func testRegion(t *testing.T, payloadCap uint64) (*Heap, *CheckpointRegion) {
+	t.Helper()
+	h := New(1 << 16)
+	r, err := NewCheckpointRegion(h, payloadCap)
+	if err != nil {
+		t.Fatalf("NewCheckpointRegion: %v", err)
+	}
+	return h, r
+}
+
+func TestCheckpointPublishAlternates(t *testing.T) {
+	h, r := testRegion(t, 4096)
+	if _, _, ok := r.Newest(); ok {
+		t.Fatalf("fresh region reports a valid checkpoint")
+	}
+	var lastSlot = -1
+	for i := 1; i <= 5; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 100*i)
+		meta := [3]uint64{uint64(i), uint64(i * 10), uint64(i * 100)}
+		seq, err := r.Publish(payload, meta, nil)
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("publish %d sealed seq %d", i, seq)
+		}
+		img, skipped, ok := r.Newest()
+		if !ok || skipped != 0 {
+			t.Fatalf("publish %d: newest ok=%v skipped=%d", i, ok, skipped)
+		}
+		if img.Seq != seq || img.Meta != meta || !bytes.Equal(img.Payload, payload) {
+			t.Fatalf("publish %d: image mismatch (seq %d meta %v, %d payload bytes)",
+				i, img.Seq, img.Meta, len(img.Payload))
+		}
+		if img.Slot == lastSlot {
+			t.Fatalf("publish %d reused slot %d", i, img.Slot)
+		}
+		lastSlot = img.Slot
+	}
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatalf("consistency after publishes: %v", err)
+	}
+	if n := h.DirtyCount(); n != 0 {
+		t.Fatalf("%d dirty lines after publishes", n)
+	}
+}
+
+func TestCheckpointPayloadTooLarge(t *testing.T) {
+	_, r := testRegion(t, 128)
+	if _, err := r.Publish(make([]byte, 129), [3]uint64{}, nil); err == nil {
+		t.Fatalf("oversized payload accepted")
+	}
+}
+
+// A crash at any publish stage must leave the previous checkpoint as the
+// newest valid image: the torn target slot is invalidated up front and only
+// the final seq write seals it.
+func TestCheckpointTornPublishFallsBack(t *testing.T) {
+	type boom struct{ stage PublishStage }
+	prev := []byte("previous checkpoint payload, definitely longer than one chunk? no - one chunk")
+	for _, crashAt := range []PublishStage{StagePage, StageSeal} {
+		h, r := testRegion(t, 4096)
+		if _, err := r.Publish(prev, [3]uint64{7, 8, 9}, nil); err != nil {
+			t.Fatalf("publish prev: %v", err)
+		}
+		func() {
+			defer func() {
+				if v := recover(); v == nil {
+					t.Fatalf("stage %d: hook did not fire", crashAt)
+				}
+			}()
+			_, _ = r.Publish(bytes.Repeat([]byte{0xAB}, 3000), [3]uint64{1, 2, 3},
+				func(stage PublishStage, chunk int) {
+					if stage == crashAt {
+						panic(boom{stage})
+					}
+				})
+		}()
+		h.Crash()
+		img, _, ok := r.Newest()
+		if !ok {
+			t.Fatalf("stage %d: no valid checkpoint after torn publish", crashAt)
+		}
+		if img.Seq != 1 || !bytes.Equal(img.Payload, prev) || img.Meta != [3]uint64{7, 8, 9} {
+			t.Fatalf("stage %d: recovered wrong image (seq %d)", crashAt, img.Seq)
+		}
+		// The torn slot is reusable: the next publish seals seq 2.
+		if seq, err := r.Publish([]byte("again"), [3]uint64{}, nil); err != nil || seq != 2 {
+			t.Fatalf("stage %d: republish after torn publish: seq %d err %v", crashAt, seq, err)
+		}
+	}
+}
+
+// Byte rot in the newest slot's payload must fail its CRC and fall back to
+// the older slot, reporting the skip.
+func TestCheckpointCorruptionFallsBack(t *testing.T) {
+	h, r := testRegion(t, 4096)
+	older := []byte("older but intact")
+	if _, err := r.Publish(older, [3]uint64{1, 0, 0}, nil); err != nil {
+		t.Fatalf("publish older: %v", err)
+	}
+	if _, err := r.Publish(bytes.Repeat([]byte{0x55}, 2048), [3]uint64{2, 0, 0}, nil); err != nil {
+		t.Fatalf("publish newer: %v", err)
+	}
+	img, _, _ := r.Newest()
+	newerSlot := img.Slot
+	r.FlipPayloadByte(newerSlot, 1027)
+	if err := h.CheckConsistency(); err != nil {
+		t.Fatalf("FlipPayloadByte broke view consistency: %v", err)
+	}
+	img, skipped, ok := r.Newest()
+	if !ok || skipped != 1 {
+		t.Fatalf("after corruption: ok=%v skipped=%d", ok, skipped)
+	}
+	if img.Seq != 1 || !bytes.Equal(img.Payload, older) {
+		t.Fatalf("after corruption: recovered seq %d, want the older image", img.Seq)
+	}
+	// Corrupt the survivor too: no valid checkpoint remains.
+	r.FlipPayloadByte(img.Slot, 3)
+	if _, skipped, ok := r.Newest(); ok || skipped != 2 {
+		t.Fatalf("after double corruption: ok=%v skipped=%d", ok, skipped)
+	}
+}
+
+func TestCheckpointReattach(t *testing.T) {
+	h, r := testRegion(t, 512)
+	want := []byte("survives reopen")
+	if _, err := r.Publish(want, [3]uint64{4, 5, 6}, nil); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	h.Crash()
+	r2, err := OpenCheckpointRegion(h, r.Base())
+	if err != nil {
+		t.Fatalf("OpenCheckpointRegion: %v", err)
+	}
+	if r2.PayloadCap() != 512 {
+		t.Fatalf("reopened payload cap %d", r2.PayloadCap())
+	}
+	img, _, ok := r2.Newest()
+	if !ok || !bytes.Equal(img.Payload, want) || img.Meta != [3]uint64{4, 5, 6} {
+		t.Fatalf("reopened image wrong (ok=%v)", ok)
+	}
+	if _, err := OpenCheckpointRegion(h, 0); err == nil {
+		t.Fatalf("OpenCheckpointRegion(0) succeeded")
+	}
+}
+
+func TestCheckpointPageHookPerChunk(t *testing.T) {
+	_, r := testRegion(t, 8192)
+	var stages []string
+	payload := make([]byte, 2*ckptChunk+1) // 3 chunks
+	if _, err := r.Publish(payload, [3]uint64{}, func(stage PublishStage, chunk int) {
+		stages = append(stages, fmt.Sprintf("%d/%d", stage, chunk))
+	}); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	want := []string{"0/0", "0/1", "0/2", "1/0"}
+	if fmt.Sprint(stages) != fmt.Sprint(want) {
+		t.Fatalf("hook stages %v, want %v", stages, want)
+	}
+}
