@@ -338,6 +338,38 @@ var experiments = []experiment{
 		c.show(r.Table())
 		return nil
 	}},
+	{"proto", "wire protocol A/B: the same open-loop mix over text vs binary framing, with allocs/op", func(c *runCtx) error {
+		opt := harness.DefaultProtoOptions()
+		// -scale shrinks the per-side op budget (CI smoke runs pass a tiny
+		// scale); the arrival rate stays fixed so percentiles and the
+		// alloc/op comparison remain meaningful across scales.
+		if s := c.opt.Scale * 256; s > 0 && s != 1 {
+			opt.Ops = int(float64(opt.Ops) * s)
+			if opt.Ops < 1000 {
+				opt.Ops = 1000
+			}
+		}
+		opt.Seed = c.opt.Seed
+		r, err := harness.ProtoAB(opt)
+		if err != nil {
+			return err
+		}
+		// The refactor's acceptance gates. Allocations gate strictly: the
+		// binary hot path must be cheaper per op than text rendering and
+		// parsing. Throughput gates tolerantly — at a fixed arrival rate
+		// both sides complete the same schedule, so equal-ish throughput
+		// plus lower allocs/op is the win condition (a hard > would flake
+		// on scheduling noise).
+		if r.Binary.AllocsPerOp >= r.Text.AllocsPerOp {
+			return fmt.Errorf("binary protocol allocs/op %.2f not below text %.2f",
+				r.Binary.AllocsPerOp, r.Text.AllocsPerOp)
+		}
+		if bt, tt := r.Binary.Report.Throughput(), r.Text.Report.Throughput(); bt < 0.9*tt {
+			return fmt.Errorf("binary throughput %.0f ops/s below 0.9x text %.0f", bt, tt)
+		}
+		c.show(r.Table())
+		return nil
+	}},
 	{"absorb", "logical write absorption: committed vs issued ops on a counter-heavy mix, absorption off vs on", func(c *runCtx) error {
 		opt := harness.DefaultAbsorbOptions()
 		// -scale shrinks the op budget like the loadgen sweep; the arrival

@@ -8,9 +8,10 @@
 // Usage:
 //
 //	nvload -addr host:port [-rate 5000] [-conns 4] [-duration 10s | -ops N]
+//	       [-proto text|binary]
 //	       [-dist uniform|zipf|churn|scan|incr|kind@frac,kind@frac,...]
-//	       [-mix put:2,get:2,incr:1,...]
-//	       [-keys N] [-skew S] [-read-frac F] [-scan-len N] [-preload N]
+//	       [-mix put:2,get:2,incr:1,mget:1,mput:1,...]
+//	       [-keys N] [-skew S] [-read-frac F] [-scan-len N] [-batch-len N] [-preload N]
 //	       [-slo-p99 5ms] [-slo-p999 20ms] [-slo-min-tput 1000] [-slo-max-err 0.01]
 //	       [-out BENCH_x.json] [-exp name]
 //	nvload -selfhost ...          # boot an in-process nvserver, no -addr needed
@@ -48,11 +49,13 @@ func main() {
 		duration   = flag.Duration("duration", 0, "length of the arrival schedule")
 		ops        = flag.Int("ops", 0, "total operation count (alternative to -duration)")
 		dist       = flag.String("dist", "uniform", "distribution: uniform, zipf, churn, scan, incr, or a kind@frac,... phase schedule")
-		mix        = flag.String("mix", "", "weighted verb mix (verb:weight,... over get,put,del,incr,decr,scan); overrides -dist")
+		mix        = flag.String("mix", "", "weighted verb mix (verb:weight,... over get,put,del,incr,decr,scan,mget,mput); overrides -dist")
 		keys       = flag.Uint64("keys", 1<<16, "keyspace size (churn: live-window size)")
 		skew       = flag.Float64("skew", 1.1, "zipf skew parameter (>1)")
 		readFrac   = flag.Float64("read-frac", 0.5, "GET fraction (scan: SCAN fraction)")
 		scanLen    = flag.Int("scan-len", 16, "pairs per SCAN")
+		batchLen   = flag.Int("batch-len", 8, "keys per MGET/MPUT (mix verbs mget, mput)")
+		protoMode  = flag.String("proto", "text", "wire protocol: text or binary")
 		preload    = flag.Uint64("preload", 0, "PUT keys [0,n) before the measured window")
 		seed       = flag.Int64("seed", 42, "workload seed (same seed = same op stream)")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-reply timeout")
@@ -107,7 +110,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nvload: self-hosted nvserver on %s\n", target)
 	}
 
-	base := loadgen.Spec{Keys: *keys, Skew: *skew, ReadFrac: *readFrac, ScanLen: *scanLen}
+	base := loadgen.Spec{Keys: *keys, Skew: *skew, ReadFrac: *readFrac, ScanLen: *scanLen, BatchLen: *batchLen}
 	var spec loadgen.Spec
 	var err error
 	if *mix != "" {
@@ -126,6 +129,7 @@ func main() {
 		Ops:      *ops,
 		Dist:     spec,
 		Seed:     *seed,
+		Proto:    *protoMode,
 		Timeout:  *timeout,
 		Preload:  *preload,
 	}

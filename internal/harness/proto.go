@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nvmcache/internal/kv"
+	"nvmcache/internal/loadgen"
+	"nvmcache/internal/server"
+)
+
+// ProtoOptions configure the text-vs-binary wire-protocol A/B: the same
+// open-loop schedule, mix, and preload driven through each dialect
+// against its own fresh self-hosted nvserver.
+type ProtoOptions struct {
+	Rate     float64
+	Conns    int
+	Ops      int
+	Shards   int
+	Preload  uint64
+	Seed     int64
+	Mix      string // loadgen -mix string; the A/B exercises the batched verbs
+	BatchLen int    // keys per MGET/MPUT frame
+}
+
+// DefaultProtoOptions keeps the A/B in smoke-test territory (~2s per
+// side) while still exercising every verb class including the batched
+// ones.
+func DefaultProtoOptions() ProtoOptions {
+	return ProtoOptions{
+		Rate:     2000,
+		Conns:    4,
+		Ops:      8000,
+		Shards:   8,
+		Preload:  2048,
+		Seed:     42,
+		Mix:      "get:4,put:2,incr:1,mget:1,mput:1",
+		BatchLen: 8,
+	}
+}
+
+// ProtoRun is one dialect's side of the A/B.
+type ProtoRun struct {
+	Proto  string
+	Report *loadgen.Report
+	// AllocsPerOp and BytesPerOp are process-wide runtime.MemStats deltas
+	// (driver + in-process server) over the measured window, divided by
+	// completed wire operations. The absolute numbers include the load
+	// driver's own bookkeeping; the A/B difference is the protocol stack's
+	// cost, which is what the zero-copy refactor is gated on.
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// ProtoABResult is the finished comparison.
+type ProtoABResult struct {
+	Opt          ProtoOptions
+	Text, Binary ProtoRun
+}
+
+// ProtoAB drives the identical workload through the text and binary
+// protocols, each against a fresh self-hosted nvserver, and measures
+// throughput, tail latency, and allocation cost per operation.
+func ProtoAB(opt ProtoOptions) (*ProtoABResult, error) {
+	res := &ProtoABResult{Opt: opt}
+	for _, mode := range []string{"text", "binary"} {
+		run, err := protoRun(opt, mode)
+		if err != nil {
+			return nil, err
+		}
+		if mode == "text" {
+			res.Text = *run
+		} else {
+			res.Binary = *run
+		}
+	}
+	return res, nil
+}
+
+func protoRun(opt ProtoOptions, mode string) (*ProtoRun, error) {
+	kvOpts := kv.DefaultOptions()
+	if opt.Shards > 0 {
+		kvOpts.Shards = opt.Shards
+	}
+	srv, err := server.SelfHost(kvOpts, server.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown()
+
+	base := loadgen.DefaultSpec()
+	base.BatchLen = opt.BatchLen
+	spec, err := loadgen.ParseMix(opt.Mix, base)
+	if err != nil {
+		return nil, err
+	}
+	cfg := loadgen.Config{
+		Addr:    srv.Addr().String(),
+		Rate:    opt.Rate,
+		Conns:   opt.Conns,
+		Ops:     opt.Ops,
+		Dist:    spec,
+		Seed:    opt.Seed,
+		Proto:   mode,
+		Preload: opt.Preload,
+	}
+	// Settle the allocator before the measured window so one side's
+	// warm-up garbage does not bill the other (the runs share a process).
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("proto %s run: %w", mode, err)
+	}
+	runtime.ReadMemStats(&after)
+	run := &ProtoRun{Proto: mode, Report: rep}
+	if rep.Completed > 0 {
+		run.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(rep.Completed)
+		run.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(rep.Completed)
+	}
+	return run, nil
+}
+
+// Table renders the A/B.
+func (r *ProtoABResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("wire protocol A/B: text vs binary at %.0f ops/s over %d conns, mix %s",
+			r.Opt.Rate, r.Opt.Conns, r.Opt.Mix),
+		Headers: []string{"proto", "sent", "done", "err", "ops/s", "p50", "p99", "max", "allocs/op", "B/op"},
+		Notes: []string{
+			"allocs/op and B/op are process-wide (driver + in-process server) MemStats deltas per completed wire op",
+			fmt.Sprintf("batched verbs carry %d keys per MGET/MPUT frame", r.Opt.BatchLen),
+		},
+	}
+	us := func(d time.Duration) string { return fmt.Sprintf("%.0fus", float64(d)/1e3) }
+	for _, run := range []*ProtoRun{&r.Text, &r.Binary} {
+		rep := run.Report
+		t.AddRow(run.Proto,
+			fmt.Sprintf("%d", rep.Sent),
+			fmt.Sprintf("%d", rep.Completed),
+			fmt.Sprintf("%d", rep.Errors+rep.Timeouts),
+			fmt.Sprintf("%.0f", rep.Throughput()),
+			us(rep.Hist.Quantile(0.50)),
+			us(rep.Hist.Quantile(0.99)),
+			us(rep.Hist.Max()),
+			fmt.Sprintf("%.1f", run.AllocsPerOp),
+			fmt.Sprintf("%.0f", run.BytesPerOp))
+	}
+	return t
+}

@@ -1,0 +1,36 @@
+package harness
+
+import "testing"
+
+// TestProtoAB is the A/B smoke: both dialects complete the identical
+// schedule error-free, and the binary side's allocation cost per op is
+// strictly lower — the refactor's headline claim, here at test scale.
+func TestProtoAB(t *testing.T) {
+	opt := DefaultProtoOptions()
+	opt.Ops = 2000
+	opt.Preload = 512
+	r, err := ProtoAB(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []*ProtoRun{&r.Text, &r.Binary} {
+		rep := run.Report
+		if rep.Sent != int64(opt.Ops) || rep.Completed != rep.Sent {
+			t.Fatalf("%s: sent=%d completed=%d of %d", run.Proto, rep.Sent, rep.Completed, opt.Ops)
+		}
+		if rep.Errors != 0 || rep.Timeouts != 0 {
+			t.Fatalf("%s: errors=%d timeouts=%d", run.Proto, rep.Errors, rep.Timeouts)
+		}
+		if run.AllocsPerOp <= 0 {
+			t.Fatalf("%s: allocs/op = %.2f, want positive (driver bookkeeping exists)", run.Proto, run.AllocsPerOp)
+		}
+	}
+	if r.Binary.AllocsPerOp >= r.Text.AllocsPerOp {
+		t.Fatalf("binary allocs/op %.2f not below text %.2f",
+			r.Binary.AllocsPerOp, r.Text.AllocsPerOp)
+	}
+	tb := r.Table()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("table rows = %d, want 2", len(tb.Rows))
+	}
+}

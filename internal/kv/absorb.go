@@ -236,6 +236,22 @@ func (sh *shard) planCommit(batch []request, force bool) *commitPlan {
 			sim[r.k] = simState{written: true}
 			plan.acks = append(plan.acks, r)
 			plan.results = append(plan.results, result{found: s.present})
+		case opPuts:
+			// A batched put is its pairs applied in order: each pair
+			// coalesces exactly as a lone PUT would, but the request acks
+			// once, for the whole slice.
+			for _, p := range r.pairs {
+				s := look(p.K)
+				if _, pend := sh.acc.deltas[p.K]; pend {
+					conflict = true
+				}
+				if !s.written {
+					touched = append(touched, p.K)
+				}
+				sim[p.K] = simState{present: true, val: p.V, written: true}
+			}
+			plan.acks = append(plan.acks, r)
+			plan.results = append(plan.results, result{})
 		case opIncr, opDecr:
 			sh.absorbHook(AbsorbMerge)
 			d := r.v
@@ -374,9 +390,10 @@ func (sh *shard) finishAbsorbed(plan *commitPlan) (crashed bool) {
 			return true
 		}
 	}
+	logical := uint64(logicalOps(plan.acks))
 	sh.noteOps(plan.acks)
-	sh.batchedOps.Add(uint64(len(plan.acks)))
-	sh.absorbed.Add(uint64(len(plan.acks)))
+	sh.batchedOps.Add(logical)
+	sh.absorbed.Add(logical)
 	for i := range plan.acks {
 		plan.acks[i].done <- plan.results[i]
 	}

@@ -19,15 +19,41 @@ const (
 	opDel
 	opIncr
 	opDecr
+	// opPuts is a batched put (Store.PutBatch / the wire protocol's MPUT):
+	// one request carrying a shard-local pairs slice, acked once after the
+	// whole slice is durable. It rides the queue as a single request so an
+	// MPUT costs one enqueue/ack per shard touched instead of one per pair.
+	opPuts
 )
 
-// request is one queued mutation; done (buffered, capacity 1) carries the
-// ack after the containing batch has committed and flushed. For counter
-// ops v is the delta.
+// request is one queued mutation; done (buffered) carries the ack after
+// the containing batch has committed and flushed. For counter ops v is
+// the delta; for opPuts the payload is pairs and k/v are unused.
 type request struct {
-	op   opKind
-	k, v uint64
-	done chan result
+	op    opKind
+	k, v  uint64
+	pairs []Pair // opPuts only; shard-local, owned by the writer after enqueue
+	done  chan result
+}
+
+// reqCost is a request's logical op count: a batched put carries one op
+// per pair (never less than one, so a batch always makes progress),
+// everything else is one. Group-commit bounds, journal sizing, and stats
+// all count logical ops so an MPUT of n pairs weighs the same as n PUTs.
+func reqCost(r *request) int {
+	if r.op == opPuts && len(r.pairs) > 1 {
+		return len(r.pairs)
+	}
+	return 1
+}
+
+// logicalOps sums reqCost over a batch.
+func logicalOps(batch []request) int {
+	n := 0
+	for i := range batch {
+		n += reqCost(&batch[i])
+	}
+	return n
 }
 
 type result struct {
@@ -327,18 +353,20 @@ func (sh *shard) gather(first request) []request {
 	maxBatch := int(sh.maxBatch.Load())
 	batch := make([]request, 1, maxBatch)
 	batch[0] = first
-	if maxBatch <= 1 {
+	n := reqCost(&first)
+	if maxBatch <= 1 || n >= maxBatch {
 		return batch
 	}
 	timer := time.NewTimer(time.Duration(sh.maxDelayNs.Load()))
 	defer timer.Stop()
-	for len(batch) < maxBatch {
+	for n < maxBatch {
 		select {
 		case r, ok := <-sh.ch:
 			if !ok {
 				return batch
 			}
 			batch = append(batch, r)
+			n += reqCost(&r)
 		case <-timer.C:
 			return batch
 		case <-sh.st.crashCh:
@@ -356,13 +384,15 @@ func (sh *shard) gatherQueued(first request) []request {
 	maxBatch := int(sh.maxBatch.Load())
 	batch := make([]request, 1, maxBatch)
 	batch[0] = first
-	for len(batch) < maxBatch {
+	n := reqCost(&first)
+	for n < maxBatch {
 		select {
 		case r, ok := <-sh.ch:
 			if !ok {
 				return batch
 			}
 			batch = append(batch, r)
+			n += reqCost(&r)
 		default:
 			return batch
 		}
@@ -430,8 +460,9 @@ func (sh *shard) commitBatch(batch []request) (crashed bool) {
 		batch, results = plan.acks, plan.results
 	}
 	// Journal pressure: the batch's redo entries must fit before its FASE
-	// opens (forcing a checkpoint, or tripping overflow, if not).
-	jneed := len(batch)
+	// opens (forcing a checkpoint, or tripping overflow, if not). Counted
+	// in logical ops: a batched put journals one entry per pair.
+	jneed := logicalOps(batch)
 	if plan != nil {
 		jneed = len(plan.writes)
 	}
@@ -469,7 +500,7 @@ func (sh *shard) commitBatch(batch []request) (crashed bool) {
 		return true
 	}
 	post := sh.th.FlushStats()
-	applied, fold := len(batch), false
+	applied, fold := logicalOps(batch), false
 	if plan != nil {
 		applied, fold = len(plan.writes), plan.fold
 	}
@@ -633,6 +664,13 @@ func (sh *shard) applyBatch(batch []request, results []result, plan *commitPlan)
 				results[i].found, failed = sh.db.Delete(r.k)
 				if failed == nil {
 					sh.journalAppend(jOpDel, r.k, 0)
+				}
+			case opPuts:
+				for _, p := range r.pairs {
+					if failed = sh.db.Put(p.K, p.V); failed != nil {
+						break
+					}
+					sh.journalAppend(jOpPut, p.K, p.V)
 				}
 			case opIncr, opDecr:
 				// Absorption off: an ordinary read-modify-write inside the

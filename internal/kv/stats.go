@@ -82,9 +82,10 @@ func (sh *shard) note(batch []request, applied int, pre, post core.FlushStats) {
 	sh.noteOps(batch)
 	sh.batches.Add(1)
 	sh.batchesSince++
-	sh.batchedOps.Add(uint64(len(batch)))
+	logical := logicalOps(batch)
+	sh.batchedOps.Add(uint64(logical))
 	sh.committed.Add(uint64(applied))
-	if n := len(batch) - applied; n > 0 {
+	if n := logical - applied; n > 0 {
 		sh.absorbed.Add(uint64(n))
 	}
 	sh.flushAsync.Store(post.Async)
@@ -109,6 +110,8 @@ func (sh *shard) noteOps(batch []request) {
 		switch batch[i].op {
 		case opPut:
 			nput++
+		case opPuts:
+			nput += uint64(len(batch[i].pairs))
 		case opDel:
 			ndel++
 		case opIncr:

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+
+	"nvmcache/internal/proto"
 )
 
 // OpKind is one protocol operation class.
@@ -17,6 +19,8 @@ const (
 	OpScan
 	OpIncr
 	OpDecr
+	OpMGet
+	OpMPut
 )
 
 // String returns the protocol verb.
@@ -34,6 +38,10 @@ func (k OpKind) String() string {
 		return "INCR"
 	case OpDecr:
 		return "DECR"
+	case OpMGet:
+		return "MGET"
+	case OpMPut:
+		return "MPUT"
 	}
 	return "?"
 }
@@ -44,6 +52,11 @@ type Op struct {
 	Key  uint64
 	Val  uint64 // PUT: value; INCR/DECR: delta
 	N    int    // SCAN only: pair count
+	// Keys/Vals carry MGET's key batch and MPUT's pair batch. Generators
+	// reuse the backing arrays across Next calls: an Op is only valid until
+	// the next draw, which the driver respects by sending before drawing.
+	Keys []uint64
+	Vals []uint64
 }
 
 // Line renders the protocol request.
@@ -61,6 +74,24 @@ func (o Op) Line() string {
 		return "INCR " + strconv.FormatUint(o.Key, 10) + " " + strconv.FormatUint(o.Val, 10)
 	case OpDecr:
 		return "DECR " + strconv.FormatUint(o.Key, 10) + " " + strconv.FormatUint(o.Val, 10)
+	case OpMGet:
+		var sb strings.Builder
+		sb.WriteString("MGET")
+		for _, k := range o.Keys {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatUint(k, 10))
+		}
+		return sb.String()
+	case OpMPut:
+		var sb strings.Builder
+		sb.WriteString("MPUT")
+		for i, k := range o.Keys {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatUint(k, 10))
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatUint(o.Vals[i], 10))
+		}
+		return sb.String()
 	}
 	return ""
 }
@@ -87,6 +118,9 @@ type Spec struct {
 	ReadFrac float64 `json:"read_frac,omitempty"`
 	// ScanLen is the pair count each SCAN requests.
 	ScanLen int `json:"scan_len,omitempty"`
+	// BatchLen is the key count each MGET/MPUT carries (mix verbs mget and
+	// mput); capped by the protocol's per-frame op limit.
+	BatchLen int `json:"batch_len,omitempty"`
 	// Phases, when non-empty, switches distribution mid-run: each phase
 	// runs for its fraction of the connection's planned operations, in
 	// order. Kind is then reported as "phased".
@@ -108,7 +142,7 @@ var DistNames = []string{"uniform", "zipf", "churn", "scan", "incr"}
 
 // DefaultSpec fills the knobs a flag-less run uses.
 func DefaultSpec() Spec {
-	return Spec{Kind: "uniform", Keys: 1 << 16, Skew: 1.1, ReadFrac: 0.5, ScanLen: 16}
+	return Spec{Kind: "uniform", Keys: 1 << 16, Skew: 1.1, ReadFrac: 0.5, ScanLen: 16, BatchLen: 8}
 }
 
 func (s Spec) withDefaults() Spec {
@@ -124,6 +158,12 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.ScanLen <= 0 {
 		s.ScanLen = d.ScanLen
+	}
+	if s.BatchLen <= 0 {
+		s.BatchLen = d.BatchLen
+	}
+	if s.BatchLen > proto.MaxOps {
+		s.BatchLen = proto.MaxOps
 	}
 	return s
 }
@@ -205,6 +245,7 @@ func parseMixWeights(s string) ([]mixEntry, error) {
 	verbs := map[string]OpKind{
 		"get": OpGet, "put": OpPut, "del": OpDel,
 		"incr": OpIncr, "decr": OpDecr, "scan": OpScan,
+		"mget": OpMGet, "mput": OpMPut,
 	}
 	var out []mixEntry
 	sum := 0.0
@@ -220,7 +261,7 @@ func parseMixWeights(s string) ([]mixEntry, error) {
 		}
 		kind, ok := verbs[strings.ToLower(name)]
 		if !ok {
-			return nil, fmt.Errorf("loadgen: unknown mix verb %q (want get, put, del, incr, decr, scan)", name)
+			return nil, fmt.Errorf("loadgen: unknown mix verb %q (want get, put, del, incr, decr, scan, mget, mput)", name)
 		}
 		out = append(out, mixEntry{kind: kind, w: w})
 		sum += w
@@ -292,7 +333,7 @@ func (s Spec) Generator(conn, planned int, seed int64) (Generator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &mixGen{rng: rng, keys: s.Keys, scanLen: s.ScanLen, entries: entries}, nil
+		return &mixGen{rng: rng, keys: s.Keys, scanLen: s.ScanLen, batchLen: s.BatchLen, entries: entries}, nil
 	}
 	return nil, fmt.Errorf("loadgen: unknown distribution %q", s.Kind)
 }
@@ -410,12 +451,17 @@ func (g *incrGen) Next() Op {
 }
 
 // mixGen draws each op's verb from the normalized weight table, with
-// uniform keys: the -mix workload (`put:1,get:1,incr:2`-style).
+// uniform keys: the -mix workload (`put:1,get:1,incr:2`-style). The
+// batched verbs (mget, mput) reuse kbuf/vbuf across draws, so a mix
+// stream allocates nothing per op in steady state.
 type mixGen struct {
-	rng     *rand.Rand
-	keys    uint64
-	scanLen int
-	entries []mixEntry
+	rng      *rand.Rand
+	keys     uint64
+	scanLen  int
+	batchLen int
+	entries  []mixEntry
+	kbuf     []uint64
+	vbuf     []uint64
 }
 
 func (g *mixGen) Name() string { return "mix" }
@@ -440,8 +486,31 @@ func (g *mixGen) Next() Op {
 		return Op{Kind: kind, Key: k, Val: 1 + uint64(g.rng.Int63n(16))}
 	case OpDel:
 		return Op{Kind: OpDel, Key: k}
+	case OpMGet:
+		g.fillKeys()
+		return Op{Kind: OpMGet, Keys: g.kbuf}
+	case OpMPut:
+		g.fillKeys()
+		if cap(g.vbuf) < g.batchLen {
+			g.vbuf = make([]uint64, g.batchLen)
+		}
+		g.vbuf = g.vbuf[:g.batchLen]
+		for i := range g.vbuf {
+			g.vbuf[i] = g.rng.Uint64()
+		}
+		return Op{Kind: OpMPut, Keys: g.kbuf, Vals: g.vbuf}
 	}
 	return Op{Kind: OpGet, Key: k}
+}
+
+func (g *mixGen) fillKeys() {
+	if cap(g.kbuf) < g.batchLen {
+		g.kbuf = make([]uint64, g.batchLen)
+	}
+	g.kbuf = g.kbuf[:g.batchLen]
+	for i := range g.kbuf {
+		g.kbuf[i] = uint64(g.rng.Int63n(int64(g.keys)))
+	}
 }
 
 // phasedGen runs its sub-generators back to back, switching after each

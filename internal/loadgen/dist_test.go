@@ -176,11 +176,16 @@ func TestGeneratorsDeterministic(t *testing.T) {
 	} else {
 		t.Fatal(err)
 	}
+	if m, err := ParseMix("mget:1,mput:1,get:1", DefaultSpec()); err == nil {
+		specs["mix-batched"] = m
+	} else {
+		t.Fatal(err)
+	}
 	for kind, spec := range specs {
 		a, _ := spec.Generator(3, 1000, 99)
 		b, _ := spec.Generator(3, 1000, 99)
 		for i := 0; i < 1000; i++ {
-			if a.Next() != b.Next() {
+			if !opEqual(a.Next(), b.Next()) {
 				t.Fatalf("%s: streams diverge at op %d", kind, i)
 			}
 		}
@@ -188,7 +193,7 @@ func TestGeneratorsDeterministic(t *testing.T) {
 		same := true
 		a2, _ := spec.Generator(3, 1000, 99)
 		for i := 0; i < 100; i++ {
-			if a2.Next() != c.Next() {
+			if !opEqual(a2.Next(), c.Next()) {
 				same = false
 				break
 			}
@@ -197,6 +202,26 @@ func TestGeneratorsDeterministic(t *testing.T) {
 			t.Fatalf("%s: conns 3 and 4 generated identical streams", kind)
 		}
 	}
+}
+
+// opEqual compares two generated ops by value; Op is not comparable with
+// == since the batched verbs carry key/value slices.
+func opEqual(a, b Op) bool {
+	if a.Kind != b.Kind || a.Key != b.Key || a.Val != b.Val || a.N != b.N ||
+		len(a.Keys) != len(b.Keys) || len(a.Vals) != len(b.Vals) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+	}
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestZipfSkew: the hot key must take a large share of zipf traffic and a

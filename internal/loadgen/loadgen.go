@@ -28,12 +28,12 @@ package loadgen
 import (
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nvmcache/internal/nvclient"
+	"nvmcache/internal/proto"
 )
 
 // Config declares one load run.
@@ -57,6 +57,10 @@ type Config struct {
 	// Timeout bounds each reply; a reply slower than this kills its
 	// connection and counts the remaining in-flight operations as errors.
 	Timeout time.Duration `json:"timeout_ns,omitempty"`
+	// Proto selects the wire protocol: "text" (default) or "binary". The
+	// binary dialect pipelines length-prefixed frames over the same port
+	// and is what the allocation-free hot path is measured through.
+	Proto string `json:"proto,omitempty"`
 	// Preload PUTs keys [0,Preload) before the measured window, so
 	// read/scan mixes hit populated trees.
 	Preload uint64 `json:"preload,omitempty"`
@@ -79,6 +83,13 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 5 * time.Second
+	}
+	switch c.Proto {
+	case "":
+		c.Proto = "text"
+	case "text", "binary":
+	default:
+		return c, fmt.Errorf("loadgen: unknown protocol %q (want text or binary)", c.Proto)
 	}
 	if c.Dist.Kind == "" && len(c.Dist.Phases) == 0 {
 		c.Dist = DefaultSpec()
@@ -175,7 +186,11 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctrl, err := nvclient.Dial(cfg.Addr)
+	dial := nvclient.Dial
+	if cfg.Proto == "binary" {
+		dial = nvclient.DialBinary
+	}
+	ctrl, err := dial(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: control connection: %w", err)
 	}
@@ -215,7 +230,7 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		cl, err := nvclient.Dial(cfg.Addr)
+		cl, err := dial(cfg.Addr)
 		if err != nil {
 			dialErrs <- fmt.Errorf("loadgen: conn %d: %w", c, err)
 			continue
@@ -286,7 +301,7 @@ func runConn(cl *nvclient.Client, gen Generator, st *connState,
 		defer reader.Done()
 		for p := range inflight {
 			cl.SetReadDeadline(time.Now().Add(timeout))
-			reply, err := cl.Recv()
+			appErr, err := cl.RecvResult()
 			if err != nil {
 				if ne, ok := err.(net.Error); ok && ne.Timeout() {
 					st.timeouts++
@@ -302,7 +317,7 @@ func runConn(cl *nvclient.Client, gen Generator, st *connState,
 				}
 				return
 			}
-			if strings.HasPrefix(reply, "ERR") {
+			if appErr {
 				st.errors++
 				continue
 			}
@@ -331,7 +346,7 @@ func runConn(cl *nvclient.Client, gen Generator, st *connState,
 		if pr != nil {
 			phase = pr.Phase() // the phase Next just drew from
 		}
-		if err := cl.Send(op.Line()); err != nil {
+		if err := sendOp(cl, op); err != nil {
 			st.errors++
 			break
 		}
@@ -354,30 +369,53 @@ func runConn(cl *nvclient.Client, gen Generator, st *connState,
 	reader.Wait()
 }
 
-// preload PUTs keys [0,n) in pipelined windows before the measured run.
+// sendOp stages one operation on the client's write buffer, rendering
+// the line protocol or encoding a binary frame depending on the
+// connection's dialect.
+func sendOp(cl *nvclient.Client, op Op) error {
+	if !cl.Binary() {
+		return cl.Send(op.Line())
+	}
+	switch op.Kind {
+	case OpGet:
+		return cl.SendGet(op.Key)
+	case OpPut:
+		return cl.SendPut(op.Key, op.Val)
+	case OpDel:
+		return cl.SendDel(op.Key)
+	case OpScan:
+		return cl.SendScan(op.Key, uint32(op.N))
+	case OpIncr:
+		return cl.SendIncr(op.Key, op.Val)
+	case OpDecr:
+		return cl.SendDecr(op.Key, op.Val)
+	case OpMGet:
+		return cl.SendMGet(op.Keys)
+	case OpMPut:
+		return cl.SendMPut(op.Keys, op.Vals)
+	}
+	return fmt.Errorf("loadgen: no encoding for op kind %d", op.Kind)
+}
+
+// preload PUTs keys [0,n) before the measured run, batched through MPUT
+// windows so population rides the store's group commit one shard-visit
+// per window instead of one per key.
 func preload(cl *nvclient.Client, n uint64) error {
-	const window = 1024
+	const window = proto.MaxOps
+	keys := make([]uint64, 0, window)
+	vals := make([]uint64, 0, window)
 	for base := uint64(0); base < n; base += window {
 		end := base + window
 		if end > n {
 			end = n
 		}
+		keys, vals = keys[:0], vals[:0]
 		for k := base; k < end; k++ {
-			if err := cl.Send(Op{Kind: OpPut, Key: k, Val: k ^ 0x5bd1e995}.Line()); err != nil {
-				return err
-			}
+			keys = append(keys, k)
+			vals = append(vals, k^0x5bd1e995)
 		}
-		if err := cl.Flush(); err != nil {
-			return err
-		}
-		for k := base; k < end; k++ {
-			reply, err := cl.Recv()
-			if err != nil {
-				return err
-			}
-			if reply != "OK" {
-				return fmt.Errorf("preload key %d: %s", k, reply)
-			}
+		if err := cl.MPut(keys, vals); err != nil {
+			return fmt.Errorf("preload keys [%d,%d): %w", base, end, err)
 		}
 	}
 	return nil

@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"testing"
+
+	"nvmcache/internal/server"
+)
+
+// TestRunBinaryProtocol drives the same accounting invariants as the text
+// runs, but over the binary wire protocol with the batched verbs in the
+// mix: every scheduled frame must complete, error-free, and the server's
+// per-verb deltas must cover the logical (per-key) operation count.
+func TestRunBinaryProtocol(t *testing.T) {
+	srv := selfHost(t, server.Options{})
+	for _, mode := range []string{"text", "binary"} {
+		t.Run(mode, func(t *testing.T) {
+			cfg := testConfig(srv.Addr().String())
+			cfg.Proto = mode
+			cfg.Ops = 1000
+			base := DefaultSpec()
+			base.Keys = 256
+			base.BatchLen = 4
+			spec, err := ParseMix("get:2,put:1,mget:1,mput:1,incr:1,scan:1", base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Dist = spec
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Sent != int64(cfg.Ops) {
+				t.Fatalf("sent %d of %d", rep.Sent, cfg.Ops)
+			}
+			if rep.Completed != rep.Sent || rep.Errors != 0 || rep.Timeouts != 0 {
+				t.Fatalf("completed=%d errors=%d timeouts=%d of sent=%d",
+					rep.Completed, rep.Errors, rep.Timeouts, rep.Sent)
+			}
+			// An MGET/MPUT frame is one wire op but BatchLen logical ops, so
+			// the verb deltas must exceed the frame count for this mix.
+			d := rep.ServerDelta
+			verbs := d["total.puts"] + d["total.dels"] + d["total.gets"] +
+				d["total.scans"] + d["total.incrs"] + d["total.decrs"]
+			if verbs < float64(rep.Sent) {
+				t.Fatalf("server verb deltas %.0f < sent %d (%v)", verbs, rep.Sent, d)
+			}
+			// The artifact must record which dialect produced it.
+			b := rep.Bench("loadgen_proto_test")
+			if b.Config.Proto != mode {
+				t.Fatalf("artifact proto = %q, want %q", b.Config.Proto, mode)
+			}
+			if err := b.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConfigProtoValidation(t *testing.T) {
+	cfg := Config{Addr: "x", Rate: 1, Duration: 1, Proto: "carrier-pigeon"}
+	if _, err := cfg.withDefaults(); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	cfg.Proto = ""
+	got, err := cfg.withDefaults()
+	if err != nil || got.Proto != "text" {
+		t.Fatalf("default proto = %q, %v, want text", got.Proto, err)
+	}
+}
+
+func TestOpLineBatchedVerbs(t *testing.T) {
+	op := Op{Kind: OpMGet, Keys: []uint64{1, 2, 3}}
+	if got := op.Line(); got != "MGET 1 2 3" {
+		t.Fatalf("MGET line = %q", got)
+	}
+	op = Op{Kind: OpMPut, Keys: []uint64{1, 2}, Vals: []uint64{10, 20}}
+	if got := op.Line(); got != "MPUT 1 10 2 20" {
+		t.Fatalf("MPUT line = %q", got)
+	}
+}
+
+func TestMixGeneratesBatchedOps(t *testing.T) {
+	spec, err := ParseMix("mget:1,mput:1", Spec{Keys: 64, BatchLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := spec.Generator(0, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawGet, sawPut := false, false
+	for i := 0; i < 100; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case OpMGet:
+			sawGet = true
+			if len(op.Keys) != 4 {
+				t.Fatalf("MGET batch len = %d, want 4", len(op.Keys))
+			}
+		case OpMPut:
+			sawPut = true
+			if len(op.Keys) != 4 || len(op.Vals) != 4 {
+				t.Fatalf("MPUT batch lens = %d/%d, want 4/4", len(op.Keys), len(op.Vals))
+			}
+		default:
+			t.Fatalf("unexpected op kind %v in mget/mput mix", op.Kind)
+		}
+	}
+	if !sawGet || !sawPut {
+		t.Fatalf("mix drew mget=%v mput=%v, want both", sawGet, sawPut)
+	}
+}

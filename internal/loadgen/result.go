@@ -50,6 +50,7 @@ type BenchConfig struct {
 	Dist      Spec    `json:"dist"`
 	DistName  string  `json:"dist_name"`
 	Seed      int64   `json:"seed"`
+	Proto     string  `json:"proto,omitempty"`
 	Preload   uint64  `json:"preload,omitempty"`
 	TimeoutMS float64 `json:"timeout_ms"`
 }
@@ -99,6 +100,7 @@ func (r *Report) Bench(exp string) *Bench {
 			Dist:      r.Config.Dist,
 			DistName:  r.Config.Dist.Name(),
 			Seed:      r.Config.Seed,
+			Proto:     r.Config.Proto,
 			Preload:   r.Config.Preload,
 			TimeoutMS: float64(r.Config.Timeout) / 1e6,
 		},

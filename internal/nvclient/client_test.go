@@ -1,0 +1,143 @@
+package nvclient
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+// fakeTextServer pairs a client with a scripted line-protocol peer: each
+// request line (whatever it says) is answered with the next canned reply.
+func fakeTextServer(t *testing.T, replies ...string) *Client {
+	t.Helper()
+	here, there := net.Pipe()
+	t.Cleanup(func() { here.Close(); there.Close() })
+	go func() {
+		r := bufio.NewReader(there)
+		for _, reply := range replies {
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+			if _, err := io.WriteString(there, reply+"\n"); err != nil {
+				return
+			}
+		}
+	}()
+	return &Client{c: here, r: bufio.NewReader(here), w: bufio.NewWriter(here)}
+}
+
+func TestParseValStrict(t *testing.T) {
+	if v, err := parseVal("VAL 12"); err != nil || v != 12 {
+		t.Fatalf("parseVal(VAL 12) = %d,%v", v, err)
+	}
+	if v, err := parseVal("VAL 18446744073709551615"); err != nil || v != 1<<64-1 {
+		t.Fatalf("parseVal(max) = %d,%v", v, err)
+	}
+	for _, bad := range []string{
+		"VAL 12garbage", // the fmt.Sscanf bug this replaces accepted this
+		"VAL",
+		"VAL ",
+		"VAL -1",
+		"VAL 1 2",
+		"VALUE 1",
+		"OK",
+	} {
+		if _, err := parseVal(bad); err == nil {
+			t.Fatalf("parseVal(%q) accepted a malformed reply", bad)
+		}
+	}
+}
+
+func TestGetRejectsMalformedReply(t *testing.T) {
+	cl := fakeTextServer(t, "VAL 12garbage")
+	if v, ok, err := cl.Get(1); err == nil {
+		t.Fatalf("Get accepted %q: %d,%v", "VAL 12garbage", v, ok)
+	}
+}
+
+func TestCounterRejectsMalformedReply(t *testing.T) {
+	cl := fakeTextServer(t, "VAL 7x", "VAL 9 trailing")
+	if v, err := cl.Incr(1, 1); err == nil {
+		t.Fatalf("Incr accepted %q: %d", "VAL 7x", v)
+	}
+	if v, err := cl.Decr(1, 1); err == nil {
+		t.Fatalf("Decr accepted %q: %d", "VAL 9 trailing", v)
+	}
+}
+
+func TestParseValsText(t *testing.T) {
+	vals, found, err := parseVals("VALS 3 7 NIL 9", 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0] != 7 || found[1] || vals[2] != 9 || !found[2] {
+		t.Fatalf("parseVals = %v %v", vals, found)
+	}
+	for _, bad := range []string{
+		"VALS 2 7",       // count/entry mismatch
+		"VALS 3 7 8 9",   // wrong count for want=2 below
+		"VALS x 7 8",     // bad count
+		"RANGE 1 2 3",    // wrong verb
+		"VALS 2 7 8 9",   // extra entry
+		"VALS 2 7 8bad",  // malformed value
+		"ERR store down", // error line
+	} {
+		if _, _, err := parseVals(bad, 2, nil, nil); err == nil {
+			t.Fatalf("parseVals(%q) accepted a malformed reply", bad)
+		}
+	}
+}
+
+// TestBinarySendAllocs pins the binary client's encode path — typed
+// Send* into the reused frame buffer plus the write-buffer copy — at
+// zero allocations per op.
+func TestBinarySendAllocs(t *testing.T) {
+	cl := &Client{bin: true, w: bufio.NewWriter(io.Discard), ebuf: make([]byte, 0, 4096)}
+	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	vals := []uint64{8, 7, 6, 5, 4, 3, 2, 1}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := cl.SendPut(1, 2); err != nil {
+			panic(err)
+		}
+		if err := cl.SendGet(3); err != nil {
+			panic(err)
+		}
+		if err := cl.SendIncr(4, 1); err != nil {
+			panic(err)
+		}
+		if err := cl.SendMGet(keys); err != nil {
+			panic(err)
+		}
+		if err := cl.SendMPut(keys, vals); err != nil {
+			panic(err)
+		}
+		if err := cl.Flush(); err != nil {
+			panic(err)
+		}
+	}); n != 0 {
+		t.Fatalf("binary send allocs/op = %v, want 0", n)
+	}
+}
+
+func TestTextOnlyGuards(t *testing.T) {
+	cl := &Client{bin: true, w: bufio.NewWriter(io.Discard)}
+	if _, err := cl.Do("GET 1"); err != ErrTextOnly {
+		t.Fatalf("Do on binary client: %v", err)
+	}
+	if _, err := cl.DoMulti("STATS", "END"); err != ErrTextOnly {
+		t.Fatalf("DoMulti on binary client: %v", err)
+	}
+	if err := cl.Send("GET 1"); err != ErrTextOnly {
+		t.Fatalf("Send on binary client: %v", err)
+	}
+	if _, err := cl.Recv(); err != ErrTextOnly {
+		t.Fatalf("Recv on binary client: %v", err)
+	}
+	txt := &Client{}
+	if _, _, err := txt.RecvReply(); err == nil ||
+		!strings.Contains(err.Error(), "text-mode") {
+		t.Fatalf("RecvReply on text client: %v", err)
+	}
+}

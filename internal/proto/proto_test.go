@@ -1,0 +1,322 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// readOne frames buf through a bufio.Reader sized like the server's and
+// decodes one frame.
+func readOne(t *testing.T, frame []byte) (byte, []byte) {
+	t.Helper()
+	r := bufio.NewReaderSize(bytes.NewReader(frame), 4096)
+	var scratch []byte
+	op, payload, err := ReadFrame(r, &scratch)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return op, payload
+}
+
+func TestRequestRoundTrips(t *testing.T) {
+	op, p := readOne(t, AppendPut(nil, 7, 11))
+	if op != OpPut {
+		t.Fatalf("op = %d, want OpPut", op)
+	}
+	if k, v, err := DecodeKV(p); err != nil || k != 7 || v != 11 {
+		t.Fatalf("DecodeKV = (%d,%d,%v), want (7,11,nil)", k, v, err)
+	}
+
+	op, p = readOne(t, AppendGet(nil, 42))
+	if op != OpGet {
+		t.Fatalf("op = %d, want OpGet", op)
+	}
+	if k, err := DecodeKey(p); err != nil || k != 42 {
+		t.Fatalf("DecodeKey = (%d,%v), want (42,nil)", k, err)
+	}
+
+	op, p = readOne(t, AppendDel(nil, 9))
+	if op != OpDel {
+		t.Fatalf("op = %d, want OpDel", op)
+	}
+	if k, err := DecodeKey(p); err != nil || k != 9 {
+		t.Fatalf("DecodeKey = (%d,%v), want (9,nil)", k, err)
+	}
+
+	op, p = readOne(t, AppendIncr(nil, 3, 5))
+	if op != OpIncr {
+		t.Fatalf("op = %d, want OpIncr", op)
+	}
+	if k, d, err := DecodeKV(p); err != nil || k != 3 || d != 5 {
+		t.Fatalf("DecodeKV = (%d,%d,%v), want (3,5,nil)", k, d, err)
+	}
+
+	op, p = readOne(t, AppendDecr(nil, 3, 2))
+	if op != OpDecr {
+		t.Fatalf("op = %d, want OpDecr", op)
+	}
+	if k, d, err := DecodeKV(p); err != nil || k != 3 || d != 2 {
+		t.Fatalf("DecodeKV = (%d,%d,%v), want (3,2,nil)", k, d, err)
+	}
+
+	op, p = readOne(t, AppendScan(nil, 100, 32))
+	if op != OpScan {
+		t.Fatalf("op = %d, want OpScan", op)
+	}
+	if start, n, err := DecodeScan(p); err != nil || start != 100 || n != 32 {
+		t.Fatalf("DecodeScan = (%d,%d,%v), want (100,32,nil)", start, n, err)
+	}
+
+	keys := []uint64{1, 2, 3}
+	op, p = readOne(t, AppendMGet(nil, keys))
+	if op != OpMGet {
+		t.Fatalf("op = %d, want OpMGet", op)
+	}
+	got, err := DecodeMGet(p, nil)
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("DecodeMGet = (%v,%v), want ([1 2 3],nil)", got, err)
+	}
+
+	vals := []uint64{10, 20, 30}
+	op, p = readOne(t, AppendMPut(nil, keys, vals))
+	if op != OpMPut {
+		t.Fatalf("op = %d, want OpMPut", op)
+	}
+	gk, gv, err := DecodeMPut(p, nil, nil)
+	if err != nil || len(gk) != 3 || gk[2] != 3 || gv[0] != 10 || gv[2] != 30 {
+		t.Fatalf("DecodeMPut = (%v,%v,%v)", gk, gv, err)
+	}
+
+	if op, p = readOne(t, AppendStats(nil)); op != OpStats || len(p) != 0 {
+		t.Fatalf("stats frame = (%d,%d bytes)", op, len(p))
+	}
+	if op, p = readOne(t, AppendQuit(nil)); op != OpQuit || len(p) != 0 {
+		t.Fatalf("quit frame = (%d,%d bytes)", op, len(p))
+	}
+}
+
+func TestReplyRoundTrips(t *testing.T) {
+	if op, p := readOne(t, AppendOK(nil)); op != RepOK || len(p) != 0 {
+		t.Fatalf("OK frame = (%d,%d bytes)", op, len(p))
+	}
+	if op, p := readOne(t, AppendNil(nil)); op != RepNil || len(p) != 0 {
+		t.Fatalf("NIL frame = (%d,%d bytes)", op, len(p))
+	}
+	if op, p := readOne(t, AppendBye(nil)); op != RepBye || len(p) != 0 {
+		t.Fatalf("BYE frame = (%d,%d bytes)", op, len(p))
+	}
+
+	op, p := readOne(t, AppendVal(nil, 123))
+	if op != RepVal {
+		t.Fatalf("op = %d, want RepVal", op)
+	}
+	if v, err := DecodeVal(p); err != nil || v != 123 {
+		t.Fatalf("DecodeVal = (%d,%v), want (123,nil)", v, err)
+	}
+
+	op, p = readOne(t, AppendErr(nil, "bad verb"))
+	if op != RepErr || string(p) != "bad verb" {
+		t.Fatalf("err frame = (%d,%q)", op, p)
+	}
+
+	buf := AppendRangeHeader(nil, 2)
+	buf = AppendU64(buf, 1)
+	buf = AppendU64(buf, 10)
+	buf = AppendU64(buf, 2)
+	buf = AppendU64(buf, 20)
+	op, p = readOne(t, buf)
+	if op != RepRange {
+		t.Fatalf("op = %d, want RepRange", op)
+	}
+	rk, rv, err := DecodeRange(p)
+	if err != nil || len(rk) != 2 || rk[1] != 2 || rv[0] != 10 || rv[1] != 20 {
+		t.Fatalf("DecodeRange = (%v,%v,%v)", rk, rv, err)
+	}
+
+	buf = AppendValsHeader(nil, 2)
+	buf = AppendValsEntry(buf, 77, true)
+	buf = AppendValsEntry(buf, 0, false)
+	op, p = readOne(t, buf)
+	if op != RepVals {
+		t.Fatalf("op = %d, want RepVals", op)
+	}
+	vv, ff, err := DecodeVals(p, nil, nil)
+	if err != nil || len(vv) != 2 || vv[0] != 77 || !ff[0] || ff[1] {
+		t.Fatalf("DecodeVals = (%v,%v,%v)", vv, ff, err)
+	}
+
+	op, p = readOne(t, AppendStatsReply(nil, []byte("total puts=1\n")))
+	if op != RepStats || string(p) != "total puts=1\n" {
+		t.Fatalf("stats reply = (%d,%q)", op, p)
+	}
+}
+
+func TestReadFrameBadVersion(t *testing.T) {
+	frame := AppendGet(nil, 1)
+	frame[0] = 'G' // looks like a text verb
+	r := bufio.NewReader(bytes.NewReader(frame))
+	var scratch []byte
+	_, _, err := ReadFrame(r, &scratch)
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *proto.Error", err)
+	}
+}
+
+func TestReadFrameOversizedPayload(t *testing.T) {
+	frame := appendHeader(nil, OpPut, MaxPayload+1)
+	r := bufio.NewReader(bytes.NewReader(frame))
+	var scratch []byte
+	_, _, err := ReadFrame(r, &scratch)
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *proto.Error", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full := AppendPut(nil, 1, 2)
+	for cut := 0; cut < len(full); cut++ {
+		r := bufio.NewReader(bytes.NewReader(full[:cut]))
+		var scratch []byte
+		_, _, err := ReadFrame(r, &scratch)
+		if err == nil {
+			t.Fatalf("cut=%d: no error for truncated frame", cut)
+		}
+		var pe *Error
+		if errors.As(err, &pe) {
+			t.Fatalf("cut=%d: protocol error %v for clean truncation, want io error", cut, err)
+		}
+	}
+}
+
+// TestReadFrameScratchFallback forces the payload past the reader's
+// buffer so ReadFrame must copy into scratch.
+func TestReadFrameScratchFallback(t *testing.T) {
+	n := 64 // keys in a frame larger than the 16-byte reader below
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	frame := AppendMGet(nil, keys)
+	r := bufio.NewReaderSize(bytes.NewReader(frame), 16)
+	var scratch []byte
+	op, payload, err := ReadFrame(r, &scratch)
+	if err != nil || op != OpMGet {
+		t.Fatalf("ReadFrame = (%d,%v)", op, err)
+	}
+	got, err := DecodeMGet(payload, nil)
+	if err != nil || len(got) != n || got[n-1] != uint64(n-1) {
+		t.Fatalf("DecodeMGet = (%d keys, %v)", len(got), err)
+	}
+	if cap(scratch) < len(payload) {
+		t.Fatalf("scratch not grown: cap %d < payload %d", cap(scratch), len(payload))
+	}
+}
+
+func TestDecodeCountLimits(t *testing.T) {
+	// Count beyond MaxOps.
+	p := binary.LittleEndian.AppendUint32(nil, MaxOps+1)
+	if _, err := DecodeMGet(p, nil); err == nil {
+		t.Fatal("DecodeMGet accepted count > MaxOps")
+	}
+	// Count/payload length mismatch.
+	p = binary.LittleEndian.AppendUint32(nil, 2)
+	p = AppendU64(p, 1) // only one key present
+	if _, err := DecodeMGet(p, nil); err == nil {
+		t.Fatal("DecodeMGet accepted short payload")
+	}
+	// Truncated count prefix.
+	if _, _, err := DecodeMPut([]byte{1, 0}, nil, nil); err == nil {
+		t.Fatal("DecodeMPut accepted truncated count")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	if !Sniff(Version) {
+		t.Fatal("Sniff rejected the version byte")
+	}
+	for _, b := range []byte{'P', 'G', 'S', 'Q', ' ', '\n'} {
+		if Sniff(b) {
+			t.Fatalf("Sniff accepted text byte %q", b)
+		}
+	}
+}
+
+func TestVerbName(t *testing.T) {
+	want := map[byte]string{
+		OpPut: "PUT", OpGet: "GET", OpDel: "DEL", OpIncr: "INCR",
+		OpDecr: "DECR", OpScan: "SCAN", OpMGet: "MGET", OpMPut: "MPUT",
+		OpStats: "STATS", OpQuit: "QUIT", 0xFF: "?",
+	}
+	for op, name := range want {
+		if got := VerbName(op); got != name {
+			t.Fatalf("VerbName(%d) = %q, want %q", op, got, name)
+		}
+	}
+}
+
+// TestEncodeAllocs pins the client-side encode path at zero allocations
+// per op once the buffer has grown.
+func TestEncodeAllocs(t *testing.T) {
+	buf := make([]byte, 0, 4096)
+	keys := []uint64{1, 2, 3, 4}
+	vals := []uint64{5, 6, 7, 8}
+	if n := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		buf = AppendPut(buf, 1, 2)
+		buf = AppendGet(buf, 3)
+		buf = AppendIncr(buf, 4, 1)
+		buf = AppendScan(buf, 0, 16)
+		buf = AppendMGet(buf, keys)
+		buf = AppendMPut(buf, keys, vals)
+	}); n != 0 {
+		t.Fatalf("encode allocs/op = %v, want 0", n)
+	}
+}
+
+// TestDecodeAllocs pins ReadFrame + request decode at zero allocations
+// per op when frames fit the reader's buffer (the server's steady state).
+func TestDecodeAllocs(t *testing.T) {
+	frames := AppendPut(nil, 1, 2)
+	frames = AppendGet(frames, 3)
+	frames = AppendMGet(frames, []uint64{4, 5, 6})
+	rd := bytes.NewReader(frames)
+	r := bufio.NewReaderSize(rd, 4096)
+	var scratch []byte
+	keys := make([]uint64, 0, 64)
+	if n := testing.AllocsPerRun(200, func() {
+		rd.Seek(0, io.SeekStart)
+		r.Reset(rd)
+		for {
+			op, p, err := ReadFrame(r, &scratch)
+			if err != nil {
+				if err != io.EOF {
+					panic(err)
+				}
+				return
+			}
+			switch op {
+			case OpPut:
+				if _, _, err := DecodeKV(p); err != nil {
+					panic(err)
+				}
+			case OpGet:
+				if _, err := DecodeKey(p); err != nil {
+					panic(err)
+				}
+			case OpMGet:
+				keys, err = DecodeMGet(p, keys)
+				if err != nil {
+					panic(err)
+				}
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("decode allocs/op = %v, want 0", n)
+	}
+}

@@ -1,36 +1,51 @@
-// Package server implements the nvserver TCP line protocol on top of a
+// Package server implements the nvserver wire protocols on top of a
 // kv.Store. It used to live inside cmd/nvserver; it is a package of its
 // own so that internal/loadgen can boot an in-process ("self-hosted")
 // server for tests, CI smoke runs and nvbench experiments without an
-// external process, and so the protocol has exactly one implementation.
+// external process, and so each protocol has exactly one implementation.
 //
 // One goroutine accepts; every connection gets its own handler goroutine,
 // so a slow client never stalls the others — concurrency converges in the
 // store's shard queues, where group commit batches it.
 //
-// Protocol (one request line, one reply line, decimal uint64 operands):
+// Two protocols share the port, chosen per connection by its first byte:
+// proto.Version (0xB1, never a text verb's first byte) selects the binary
+// framed protocol (see internal/proto — length-prefixed frames, reused
+// per-connection buffers, an allocation-free decode→reply hot path),
+// anything else the text line protocol below. Replies in both are
+// coalesced: the handler writes only once no further request is already
+// buffered, so a pipelining client gets its whole window's replies in one
+// syscall.
 //
-//	PUT <k> <v>      ->  OK
-//	GET <k>          ->  VAL <v> | NIL
-//	DEL <k>          ->  OK | NIL
-//	INCR <k> <d>     ->  VAL <v> (the post-increment value)
-//	DECR <k> <d>     ->  VAL <v> (wrapping uint64; missing keys count from 0)
-//	SCAN <start> <n> ->  RANGE <count> k1 v1 k2 v2 ... (ascending, one line)
-//	STATS            ->  one line per shard, a total line, a stripes line, then END
-//	QUIT             ->  BYE (server closes the connection)
-//	anything else    ->  ERR <message>
+// Text protocol (one request line, one reply line, decimal uint64
+// operands):
 //
-// An OK reply to PUT/DEL is an ack-after-flush: the mutation's FASE has
-// committed and drained, so it survives any later power failure. The same
-// holds for a VAL reply to INCR/DECR — with absorption enabled
-// (kv.Options.Absorb) the reply may be deferred until the shard's counter
-// accumulator commits the key's net delta, but a replied counter op is
-// durable. STATS lines are sorted, stable `key=value` tokens (see
-// kv.ShardStats.Pairs); internal/nvclient parses them.
+//	PUT <k> <v>        ->  OK
+//	GET <k>            ->  VAL <v> | NIL
+//	DEL <k>            ->  OK | NIL
+//	INCR <k> <d>       ->  VAL <v> (the post-increment value)
+//	DECR <k> <d>       ->  VAL <v> (wrapping uint64; missing keys count from 0)
+//	SCAN <start> <n>   ->  RANGE <count> k1 v1 k2 v2 ... (ascending, one line)
+//	MGET <k> ...       ->  VALS <count> <v|NIL> ... (input order)
+//	MPUT <k> <v> ...   ->  OK (all pairs durable; one group-commit enqueue per shard)
+//	STATS              ->  one line per shard, a total line, a stripes line, then END
+//	QUIT               ->  BYE (server closes the connection)
+//	anything else      ->  ERR <message>
+//
+// MGET/MPUT accept at most proto.MaxOps keys/pairs per request in either
+// protocol. An OK reply to PUT/DEL/MPUT is an ack-after-flush: the
+// mutation's FASE has committed and drained, so it survives any later
+// power failure. The same holds for a VAL reply to INCR/DECR — with
+// absorption enabled (kv.Options.Absorb) the reply may be deferred until
+// the shard's counter accumulator commits the key's net delta, but a
+// replied counter op is durable. STATS lines are sorted, stable
+// `key=value` tokens (see kv.ShardStats.Pairs); internal/nvclient parses
+// them.
 package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -40,11 +55,17 @@ import (
 
 	"nvmcache/internal/kv"
 	"nvmcache/internal/pmem"
+	"nvmcache/internal/proto"
 )
 
 // MaxScan caps the pair count one SCAN may return (the reply is a single
 // line; an unbounded scan would turn it into an arbitrarily large write).
 const MaxScan = 512
+
+// connBufSize sizes each connection's read buffer and reply buffer: large
+// enough that a deep pipeline window of requests decodes zero-copy and
+// its replies coalesce into one write.
+const connBufSize = 64 << 10
 
 // Options tune one Server beyond its store and listener.
 type Options struct {
@@ -52,7 +73,12 @@ type Options struct {
 	// request's verb. Load tests inject server-side latency through it (a
 	// sleeping hook) to prove the client's coordinated-omission accounting:
 	// an open-loop driver must see the stall inflate its tail percentiles.
+	// Binary-protocol requests report the equivalent text verb.
 	Stall func(verb string)
+	// WrapConn, when non-nil, wraps every accepted connection before the
+	// handler touches it. Tests interpose counting wrappers through it to
+	// assert write-coalescing behavior.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // Server serves the line protocol until Shutdown.
@@ -153,21 +179,42 @@ func (s *Server) Shutdown() error {
 	return s.st.Close()
 }
 
+// handle serves one connection: the first byte picks the protocol (see
+// the package comment), then the matching loop runs until the client
+// quits or the connection dies.
 func (s *Server) handle(c net.Conn) {
+	if s.opts.WrapConn != nil {
+		c = s.opts.WrapConn(c)
+	}
 	defer c.Close()
-	r := bufio.NewReader(c)
+	r := bufio.NewReaderSize(c, connBufSize)
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if proto.Sniff(first[0]) {
+		s.handleBinary(c, r)
+		return
+	}
+	s.handleText(c, r)
+}
+
+func (s *Server) handleText(c net.Conn, r *bufio.Reader) {
 	w := bufio.NewWriter(c)
 	for {
 		line, err := r.ReadString('\n')
+		if err != nil {
+			// No trailing delimiter: the line is a truncated request from a
+			// dying connection and must never execute — a partial `PUT 1 2`
+			// cut from `PUT 1 23` would commit the wrong value.
+			w.Flush()
+			return
+		}
 		if fields := strings.Fields(line); len(fields) > 0 {
 			if quit := s.command(w, fields); quit {
 				w.Flush()
 				return
 			}
-		}
-		if err != nil {
-			w.Flush()
-			return
 		}
 		// Flush only when no further request is already buffered: a
 		// pipelining client gets its whole window's replies in one syscall.
@@ -177,6 +224,227 @@ func (s *Server) handle(c net.Conn) {
 			}
 		}
 	}
+}
+
+// backend is the store surface the binary handler drives; *kv.Store
+// implements it. The indirection is a test seam: the decode→reply
+// allocation gates drive a binHandler over a stub backend to prove the
+// protocol layer itself adds zero allocations per op, independent of the
+// engine's per-batch bookkeeping (which group commit amortizes and the
+// nvbench proto experiment measures end to end).
+type backend interface {
+	Put(k, v uint64) error
+	Get(k uint64) (uint64, bool, error)
+	Delete(k uint64) (bool, error)
+	Incr(k, d uint64) (uint64, error)
+	Decr(k, d uint64) (uint64, error)
+	Scan(start uint64, n int) ([]kv.Pair, error)
+	GetBatch(keys, vals []uint64, found []bool) error
+	PutBatch(pairs []kv.Pair) error
+}
+
+// binHandler is one binary-protocol connection's state: the backend it
+// drives and the reused buffers that keep the decode→reply path
+// allocation-free (wbuf accumulates reply frames between coalesced
+// writes; scratch backs oversized request payloads; keys/vals/found/pairs
+// back the batched verbs).
+type binHandler struct {
+	srv     *Server
+	be      backend
+	wbuf    []byte
+	scratch []byte
+	keys    []uint64
+	vals    []uint64
+	found   []bool
+	pairs   []kv.Pair
+}
+
+func (s *Server) handleBinary(c net.Conn, r *bufio.Reader) {
+	h := &binHandler{srv: s, be: s.st, wbuf: make([]byte, 0, connBufSize)}
+	for {
+		op, payload, err := proto.ReadFrame(r, &h.scratch)
+		if err != nil {
+			// A protocol violation gets a final error frame before the
+			// close (framing past it cannot be trusted, so the connection
+			// cannot be resynchronized); a plain read error — EOF, reset —
+			// just ends the handler.
+			var pe *proto.Error
+			if errors.As(err, &pe) {
+				h.wbuf = proto.AppendErr(h.wbuf, pe.Msg)
+			}
+			if len(h.wbuf) > 0 {
+				c.Write(h.wbuf)
+			}
+			return
+		}
+		if h.exec(op, payload) {
+			c.Write(h.wbuf)
+			return
+		}
+		// Coalesce: write only when no further request is already buffered
+		// (one syscall acks the whole pipeline window) or the reply buffer
+		// has outgrown its window.
+		if r.Buffered() == 0 || len(h.wbuf) >= connBufSize {
+			if len(h.wbuf) > 0 {
+				if _, err := c.Write(h.wbuf); err != nil {
+					return
+				}
+				h.wbuf = h.wbuf[:0]
+			}
+		}
+	}
+}
+
+// exec decodes and executes one binary request, appending its reply
+// frame(s) to h.wbuf; it reports whether the connection should close. A
+// malformed payload inside an intact frame gets an error frame and the
+// connection keeps serving — framing is still synchronized.
+func (h *binHandler) exec(op byte, p []byte) (quit bool) {
+	if stall := h.srv.opts.Stall; stall != nil {
+		stall(proto.VerbName(op))
+	}
+	switch op {
+	case proto.OpPut:
+		k, v, err := proto.DecodeKV(p)
+		if err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, "bad PUT payload")
+			return false
+		}
+		if err := h.be.Put(k, v); err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, err.Error())
+			return false
+		}
+		h.wbuf = proto.AppendOK(h.wbuf)
+	case proto.OpGet:
+		k, err := proto.DecodeKey(p)
+		if err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, "bad GET payload")
+			return false
+		}
+		v, ok, err := h.be.Get(k)
+		switch {
+		case err != nil:
+			h.wbuf = proto.AppendErr(h.wbuf, err.Error())
+		case ok:
+			h.wbuf = proto.AppendVal(h.wbuf, v)
+		default:
+			h.wbuf = proto.AppendNil(h.wbuf)
+		}
+	case proto.OpDel:
+		k, err := proto.DecodeKey(p)
+		if err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, "bad DEL payload")
+			return false
+		}
+		found, err := h.be.Delete(k)
+		switch {
+		case err != nil:
+			h.wbuf = proto.AppendErr(h.wbuf, err.Error())
+		case found:
+			h.wbuf = proto.AppendOK(h.wbuf)
+		default:
+			h.wbuf = proto.AppendNil(h.wbuf)
+		}
+	case proto.OpIncr, proto.OpDecr:
+		k, d, err := proto.DecodeKV(p)
+		if err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, "bad counter payload")
+			return false
+		}
+		cop := h.be.Incr
+		if op == proto.OpDecr {
+			cop = h.be.Decr
+		}
+		v, err := cop(k, d)
+		if err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, err.Error())
+			return false
+		}
+		h.wbuf = proto.AppendVal(h.wbuf, v)
+	case proto.OpScan:
+		start, n, err := proto.DecodeScan(p)
+		if err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, "bad SCAN payload")
+			return false
+		}
+		if n > MaxScan {
+			n = MaxScan
+		}
+		pairs, err := h.be.Scan(start, int(n))
+		if err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, err.Error())
+			return false
+		}
+		h.wbuf = proto.AppendRangeHeader(h.wbuf, len(pairs))
+		for _, pr := range pairs {
+			h.wbuf = proto.AppendU64(h.wbuf, pr.K)
+			h.wbuf = proto.AppendU64(h.wbuf, pr.V)
+		}
+	case proto.OpMGet:
+		var err error
+		h.keys, err = proto.DecodeMGet(p, h.keys)
+		if err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, err.Error())
+			return false
+		}
+		n := len(h.keys)
+		if cap(h.vals) < n {
+			h.vals = make([]uint64, 0, proto.MaxOps)
+		}
+		if cap(h.found) < n {
+			h.found = make([]bool, 0, proto.MaxOps)
+		}
+		h.vals, h.found = h.vals[:n], h.found[:n]
+		if err := h.be.GetBatch(h.keys, h.vals, h.found); err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, err.Error())
+			return false
+		}
+		h.wbuf = proto.AppendValsHeader(h.wbuf, n)
+		for i := 0; i < n; i++ {
+			h.wbuf = proto.AppendValsEntry(h.wbuf, h.vals[i], h.found[i])
+		}
+	case proto.OpMPut:
+		var err error
+		h.keys, h.vals, err = proto.DecodeMPut(p, h.keys, h.vals)
+		if err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, err.Error())
+			return false
+		}
+		if cap(h.pairs) < len(h.keys) {
+			h.pairs = make([]kv.Pair, 0, proto.MaxOps)
+		}
+		h.pairs = h.pairs[:0]
+		for i := range h.keys {
+			h.pairs = append(h.pairs, kv.Pair{K: h.keys[i], V: h.vals[i]})
+		}
+		if err := h.be.PutBatch(h.pairs); err != nil {
+			h.wbuf = proto.AppendErr(h.wbuf, err.Error())
+			return false
+		}
+		h.wbuf = proto.AppendOK(h.wbuf)
+	case proto.OpStats:
+		h.wbuf = proto.AppendStatsReply(h.wbuf, h.srv.statsText())
+	case proto.OpQuit:
+		h.wbuf = proto.AppendBye(h.wbuf)
+		return true
+	default:
+		h.wbuf = proto.AppendErr(h.wbuf, "unknown opcode")
+	}
+	return false
+}
+
+// statsText renders the STATS body shared by both protocols: one line per
+// shard, the total line, the stripes line (END is the text protocol's
+// framing and stays out).
+func (s *Server) statsText() []byte {
+	var b strings.Builder
+	stats := s.st.Stats()
+	for _, st := range stats {
+		fmt.Fprintln(&b, st)
+	}
+	fmt.Fprintln(&b, kv.Totals(stats))
+	fmt.Fprintln(&b, s.st.StripeSummary())
+	return []byte(b.String())
 }
 
 // command executes one request line and buffers the reply; it reports
@@ -263,13 +531,69 @@ func (s *Server) command(w *bufio.Writer, f []string) (quit bool) {
 			fmt.Fprintf(w, " %d %d", p.K, p.V)
 		}
 		fmt.Fprintln(w)
-	case "STATS":
-		stats := s.st.Stats()
-		for _, st := range stats {
-			fmt.Fprintln(w, st)
+	case "MGET":
+		if len(f) < 2 {
+			fmt.Fprintln(w, "ERR usage: MGET <key> ...")
+			return false
 		}
-		fmt.Fprintln(w, kv.Totals(stats))
-		fmt.Fprintln(w, s.st.StripeSummary())
+		if len(f)-1 > proto.MaxOps {
+			fmt.Fprintf(w, "ERR MGET accepts at most %d keys\n", proto.MaxOps)
+			return false
+		}
+		keys := make([]uint64, len(f)-1)
+		for i, tok := range f[1:] {
+			k, err := strconv.ParseUint(tok, 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "ERR usage: MGET <key> ... (%v)\n", err)
+				return false
+			}
+			keys[i] = k
+		}
+		vals := make([]uint64, len(keys))
+		found := make([]bool, len(keys))
+		if err := s.st.GetBatch(keys, vals, found); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "VALS %d", len(keys))
+		for i := range keys {
+			if found[i] {
+				fmt.Fprintf(w, " %d", vals[i])
+			} else {
+				fmt.Fprint(w, " NIL")
+			}
+		}
+		fmt.Fprintln(w)
+	case "MPUT":
+		if len(f) < 3 || (len(f)-1)%2 != 0 {
+			fmt.Fprintln(w, "ERR usage: MPUT <key> <value> ...")
+			return false
+		}
+		if (len(f)-1)/2 > proto.MaxOps {
+			fmt.Fprintf(w, "ERR MPUT accepts at most %d pairs\n", proto.MaxOps)
+			return false
+		}
+		pairs := make([]kv.Pair, 0, (len(f)-1)/2)
+		for i := 1; i < len(f); i += 2 {
+			k, err := strconv.ParseUint(f[i], 10, 64)
+			if err == nil {
+				var v uint64
+				v, err = strconv.ParseUint(f[i+1], 10, 64)
+				if err == nil {
+					pairs = append(pairs, kv.Pair{K: k, V: v})
+					continue
+				}
+			}
+			fmt.Fprintf(w, "ERR usage: MPUT <key> <value> ... (%v)\n", err)
+			return false
+		}
+		if err := s.st.PutBatch(pairs); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintln(w, "OK")
+	case "STATS":
+		w.Write(s.statsText())
 		fmt.Fprintln(w, "END")
 	case "QUIT":
 		fmt.Fprintln(w, "BYE")
